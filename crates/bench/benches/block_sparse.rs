@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the block-sparse substrate: SDDMM, block-sparse
+//! softmax (monolithic and decomposed), and SpMM, on the BigBird pattern.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use resoftmax_kernels::sparse_numeric::bs_decomposed_softmax;
+use resoftmax_sparse::{block_sparse_softmax, pattern, sddmm, spmm, BigBirdConfig};
+use resoftmax_tensor::randn_matrix;
+
+fn bench_sparse_pipeline(c: &mut Criterion) {
+    let l = 512;
+    let d = 32;
+    let layout = pattern::bigbird(
+        l,
+        &BigBirdConfig {
+            block: 32,
+            ..Default::default()
+        },
+    );
+    let q = randn_matrix::<f32>(l, d, 1.0, 1);
+    let k = randn_matrix::<f32>(l, d, 1.0, 2);
+    let v = randn_matrix::<f32>(l, d, 1.0, 3);
+    let scores = sddmm(&q, &k, &layout).unwrap();
+    let probs = block_sparse_softmax(&scores);
+
+    let mut group = c.benchmark_group("block_sparse_L512");
+    group.sample_size(20);
+    group.bench_function("sddmm", |b| {
+        b.iter(|| sddmm(black_box(&q), &k, &layout).unwrap())
+    });
+    group.bench_function("softmax_monolithic", |b| {
+        b.iter(|| block_sparse_softmax(black_box(&scores)))
+    });
+    group.bench_function("softmax_decomposed", |b| {
+        b.iter(|| bs_decomposed_softmax(black_box(&scores)))
+    });
+    group.bench_function("spmm", |b| b.iter(|| spmm(black_box(&probs), &v).unwrap()));
+    group.finish();
+}
+
+fn bench_pattern_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_generation");
+    for l in [1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("bigbird", l), &l, |b, &l| {
+            b.iter(|| pattern::bigbird(l, &BigBirdConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("longformer", l), &l, |b, &l| {
+            b.iter(|| pattern::longformer(l, &pattern::LongformerConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_pipeline, bench_pattern_generation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the GPU simulator itself: how fast the model can
+//! evaluate full inference schedules — the quantity that bounds how large a
+//! design-space sweep (Fig. 9-style) is practical.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::{build_schedule, run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_build");
+    for model in [ModelConfig::bert_large(), ModelConfig::bigbird_large()] {
+        group.bench_with_input(BenchmarkId::from_parameter(&model.name), &model, |b, m| {
+            b.iter(|| build_schedule(black_box(m), &RunParams::new(4096)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_inference_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_inference_L4096");
+    group.sample_size(10);
+    for model in ModelConfig::all_eval_models() {
+        group.bench_with_input(BenchmarkId::new("baseline", &model.name), &model, |b, m| {
+            b.iter(|| {
+                run_inference(black_box(m), &RunParams::new(4096), DeviceSpec::a100()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sdf", &model.name), &model, |b, m| {
+            b.iter(|| {
+                run_inference(
+                    black_box(m),
+                    &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
+                    DeviceSpec::a100(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_build, bench_full_inference_sim);
+criterion_main!(benches);

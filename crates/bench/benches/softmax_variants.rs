@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the numeric softmax implementations: monolithic
+//! (Eq. 1), decomposed LS→IR→GS (Eq. 2), and the fully fused attention
+//! pipeline (Fig. 6), across row lengths.
+//!
+//! These measure the *Rust implementations* on the host CPU — useful for
+//! library users and for catching performance regressions; the GPU-side
+//! performance claims are reproduced by the `fig*` binaries instead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use resoftmax_fp16::F16;
+use resoftmax_kernels::{
+    decomposed_softmax, recomposed_attention, reference_attention, softmax_backward, softmax_rows,
+};
+use resoftmax_tensor::{randn_matrix, Matrix};
+
+fn bench_softmax_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax_forward_f32");
+    for l in [256usize, 1024, 4096] {
+        let x = randn_matrix::<f32>(64, l, 2.0, 42);
+        group.bench_with_input(BenchmarkId::new("monolithic", l), &x, |b, x| {
+            b.iter(|| softmax_rows(black_box(x)))
+        });
+        group.bench_with_input(BenchmarkId::new("decomposed_t64", l), &x, |b, x| {
+            b.iter(|| decomposed_softmax(black_box(x), 64).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_fp16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax_forward_fp16");
+    let x = randn_matrix::<F16>(64, 1024, 2.0, 7);
+    group.bench_function("monolithic", |b| b.iter(|| softmax_rows(black_box(&x))));
+    group.bench_function("decomposed_t64", |b| {
+        b.iter(|| decomposed_softmax(black_box(&x), 64).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_f32");
+    group.sample_size(20);
+    let l = 256;
+    let d = 64;
+    let q = randn_matrix::<f32>(l, d, 1.0, 1);
+    let k = randn_matrix::<f32>(l, d, 1.0, 2);
+    let v = randn_matrix::<f32>(l, d, 1.0, 3);
+    let scale = 1.0 / (d as f64).sqrt();
+    group.bench_function("reference_unfused", |b| {
+        b.iter(|| reference_attention(black_box(&q), &k, &v, scale, None).unwrap())
+    });
+    group.bench_function("recomposed_fused_t64", |b| {
+        b.iter(|| recomposed_attention(black_box(&q), &k, &v, 64, scale, None).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let y = softmax_rows(&randn_matrix::<f32>(64, 1024, 2.0, 9));
+    let dy = randn_matrix::<f32>(64, 1024, 1.0, 10);
+    c.bench_function("softmax_backward_64x1024", |b| {
+        b.iter(|| softmax_backward(black_box(&y), black_box(&dy)))
+    });
+}
+
+fn bench_tile_width_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposed_tile_width");
+    let x: Matrix<f32> = randn_matrix(64, 4096, 2.0, 11);
+    for t in [16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| decomposed_softmax(black_box(&x), t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_softmax_forward,
+    bench_softmax_fp16,
+    bench_attention,
+    bench_backward,
+    bench_tile_width_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: per-head hidden size `D_head`.
+//!
+//! GPT-Neo (d_head 128) gains less from recomposition than BERT (d_head 64):
+//! a larger head raises the MatMuls' arithmetic intensity (2·d FLOPs per
+//! attention-matrix element), shrinking the softmax share. This sweep holds
+//! `D_m = 1024` fixed and varies the head split.
+
+use resoftmax_bench::{device_from_args, PAPER_SEQ_LEN};
+use resoftmax_core::format::{pct, render_table, speedup};
+use resoftmax_model::{run_inference, AttentionKind, ModelConfig, RunParams, SoftmaxStrategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+
+    println!(
+        "ABLATION: head size at fixed D_m=1024 on {} (L={PAPER_SEQ_LEN})\n",
+        device.name
+    );
+    let mut rows = Vec::new();
+    for heads in [32usize, 16, 8, 4] {
+        let d_head = 1024 / heads;
+        let model = ModelConfig {
+            name: format!("dense-{heads}h"),
+            layers: 24,
+            d_model: 1024,
+            heads,
+            d_ff: 4096,
+            attention: AttentionKind::Dense { causal: false },
+        };
+        let base =
+            run_inference(&model, &RunParams::new(PAPER_SEQ_LEN), device.clone()).expect("ok");
+        let sdf = run_inference(
+            &model,
+            &RunParams::new(PAPER_SEQ_LEN).strategy(SoftmaxStrategy::Recomposed),
+            device.clone(),
+        )
+        .expect("ok");
+        rows.push(vec![
+            format!("{d_head}"),
+            format!("{heads}"),
+            format!("{:.2} ms", base.total_time_s() * 1e3),
+            pct(base.softmax_time_fraction()),
+            speedup(base.total_time_s() / sdf.total_time_s()),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["D_head", "heads", "baseline", "softmax frac", "SDF speedup"],
+            &rows
+        )
+    );
+    println!("\nLarger heads make the attention MatMuls more compute-intense per");
+    println!("attention-matrix element, diluting the softmax share — the mechanism");
+    println!("behind GPT-Neo's smaller gains (d_head = 128).");
+}

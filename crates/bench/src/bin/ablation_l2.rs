@@ -1,0 +1,44 @@
+//! Ablation: L2 capacity.
+//!
+//! The paper's traffic argument (§2.3) hinges on the attention matrix
+//! dwarfing on-chip storage. This sweep scales the A100's L2 and shows when
+//! the argument would break down: once L2 approaches the attention-matrix
+//! size, the baseline's inter-kernel traffic starts getting filtered and
+//! recomposition's advantage narrows.
+
+use resoftmax_bench::PAPER_SEQ_LEN;
+use resoftmax_core::format::{render_table, speedup};
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+
+fn main() {
+    let model = ModelConfig::bert_large();
+    let mut rows = Vec::new();
+    for l2_mb in [4.0f64, 40.0, 256.0, 1024.0] {
+        let mut device = DeviceSpec::a100();
+        device.l2_mb = l2_mb;
+        let base = run_inference(&model, &RunParams::new(PAPER_SEQ_LEN), device.clone())
+            .expect("launchable");
+        let sdf = run_inference(
+            &model,
+            &RunParams::new(PAPER_SEQ_LEN).strategy(SoftmaxStrategy::Recomposed),
+            device,
+        )
+        .expect("launchable");
+        rows.push(vec![
+            format!("{l2_mb:.0} MB"),
+            format!("{:.2} GB", base.total_dram_bytes() / 1e9),
+            format!("{:.2} GB", sdf.total_dram_bytes() / 1e9),
+            speedup(base.total_time_s() / sdf.total_time_s()),
+        ]);
+    }
+    println!("ABLATION: L2 capacity (A100 otherwise, BERT-large, L={PAPER_SEQ_LEN})");
+    println!("Attention matrix: 512 MB — recomposition pays until L2 rivals it\n");
+    print!(
+        "{}",
+        render_table(
+            &["L2", "baseline traffic", "SDF traffic", "SDF speedup"],
+            &rows
+        )
+    );
+}

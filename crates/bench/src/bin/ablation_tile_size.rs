@@ -1,0 +1,56 @@
+//! Ablation: the sub-vector / tile width `T`.
+//!
+//! The paper (§3.3) requires `T` to equal the MatMul output-tile width and
+//! observes transformer MatMuls use `T ≥ 64`; the IR overhead scales as
+//! `1/T`. This sweep shows the SDF speedup and the intermediate-tensor
+//! traffic as `T` varies.
+
+use resoftmax_bench::{device_from_args, PAPER_SEQ_LEN};
+use resoftmax_core::format::{render_table, speedup};
+use resoftmax_kernels::costs::TileConfig;
+use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+    let model = ModelConfig::bert_large();
+
+    let base =
+        run_inference(&model, &RunParams::new(PAPER_SEQ_LEN), device.clone()).expect("launchable");
+
+    let mut rows = Vec::new();
+    for t in [16usize, 32, 64, 128, 256] {
+        let params = RunParams::new(PAPER_SEQ_LEN)
+            .strategy(SoftmaxStrategy::Recomposed)
+            .tile(TileConfig::new(64, t));
+        let sdf = run_inference(&model, &params, device.clone()).expect("launchable");
+        let intermediates_mb = {
+            // m' + d' + r': 3 values per (row, sub-vector) per instance
+            let n_sv = PAPER_SEQ_LEN / t;
+            (3 * PAPER_SEQ_LEN * n_sv * 2 * 16) as f64 / 1e6
+        };
+        rows.push(vec![
+            format!("{t}"),
+            speedup(base.total_time_s() / sdf.total_time_s()),
+            format!("{:.2}x", sdf.total_dram_bytes() / base.total_dram_bytes()),
+            format!("{intermediates_mb:.0} MB"),
+        ]);
+    }
+    println!(
+        "ABLATION: sub-vector length T on {} (BERT-large, L={PAPER_SEQ_LEN})",
+        device.name
+    );
+    println!("Paper: T >= 64 in practice; m'/d'/r' overhead ~ 1/T\n");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "T",
+                "SDF speedup",
+                "SDF traffic vs base",
+                "m'+d'+r' per layer"
+            ],
+            &rows
+        )
+    );
+}

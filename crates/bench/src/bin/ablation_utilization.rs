@@ -1,0 +1,69 @@
+//! Ablation: the bandwidth-utilization mechanism behind SD's sparse gains.
+//!
+//! §5.1 attributes SD's 1.44×/1.49× standalone speedup on BigBird/Longformer
+//! to finer-grained thread-block allocation raising memory-bandwidth
+//! utilization. This ablation prints the utilization curve for each device
+//! and the SD speedup with the utilization model disabled (saturation point
+//! pushed to ~0), isolating that mechanism.
+
+use resoftmax_bench::PAPER_SEQ_LEN;
+use resoftmax_core::format::{render_table, speedup};
+use resoftmax_gpusim::{bandwidth, DeviceSpec};
+use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+
+fn main() {
+    // 1. The curve itself.
+    println!("Bandwidth utilization vs concurrently memory-active threads:\n");
+    let mut rows = Vec::new();
+    for threads in [2048u32, 8192, 16384, 32768, 65536, 131072, 262144] {
+        let mut row = vec![format!("{threads}")];
+        for d in DeviceSpec::all_presets() {
+            row.push(format!(
+                "{:.2}",
+                bandwidth::utilization(&d, f64::from(threads))
+            ));
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        render_table(&["threads", "A100", "RTX 3090", "T4"], &rows)
+    );
+
+    // 2. SD speedup with and without the utilization mechanism.
+    println!("\nSD speedup on sparse models, with the utilization model on/off:\n");
+    let mut rows = Vec::new();
+    for model in [
+        ModelConfig::bigbird_large(),
+        ModelConfig::longformer_large(),
+    ] {
+        let mut cells = vec![model.name.clone()];
+        for disable in [false, true] {
+            let mut device = DeviceSpec::a100();
+            if disable {
+                // Saturation at ~1 thread: every kernel sees full bandwidth,
+                // removing the allocation-granularity effect.
+                device.mem_saturation_threads = 1.0;
+            }
+            let base = run_inference(&model, &RunParams::new(PAPER_SEQ_LEN), device.clone())
+                .expect("launchable");
+            let sd = run_inference(
+                &model,
+                &RunParams::new(PAPER_SEQ_LEN).strategy(SoftmaxStrategy::Decomposed),
+                device,
+            )
+            .expect("launchable");
+            cells.push(speedup(base.total_time_s() / sd.total_time_s()));
+        }
+        rows.push(cells);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["model", "SD speedup (model on)", "SD speedup (off)"],
+            &rows
+        )
+    );
+    println!("\nPaper §5.1: the sparse SD gain comes from utilization, not traffic —");
+    println!("with the mechanism disabled, SD only adds traffic and the gain collapses.");
+}

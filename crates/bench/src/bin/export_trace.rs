@@ -1,0 +1,59 @@
+//! Exports a simulated inference run as a Chrome-trace JSON file, viewable
+//! in `chrome://tracing` or <https://ui.perfetto.dev> — softmax stretches
+//! shrinking under SDF, the IR sliver, the fused MatMuls widening.
+//!
+//! ```text
+//! cargo run --release -p resoftmax-bench --bin export_trace -- bert sdf out.json
+//! ```
+
+use resoftmax_bench::{device_from_args, PAPER_SEQ_LEN};
+use resoftmax_gpusim::chrome_trace::to_chrome_trace;
+use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+    let model = args
+        .iter()
+        .find_map(|a| match a.to_lowercase().as_str() {
+            "bert" => Some(ModelConfig::bert_large()),
+            "gpt" | "gpt-neo" => Some(ModelConfig::gpt_neo_1_3b()),
+            "bigbird" => Some(ModelConfig::bigbird_large()),
+            "longformer" => Some(ModelConfig::longformer_large()),
+            _ => None,
+        })
+        .unwrap_or_else(ModelConfig::bert_large);
+    let strategy = args
+        .iter()
+        .find_map(|a| match a.to_lowercase().as_str() {
+            "baseline" => Some(SoftmaxStrategy::Baseline),
+            "sd" => Some(SoftmaxStrategy::Decomposed),
+            "sdf" => Some(SoftmaxStrategy::Recomposed),
+            "online" => Some(SoftmaxStrategy::OnlineFused),
+            _ => None,
+        })
+        .unwrap_or(SoftmaxStrategy::Recomposed);
+    let path = args
+        .iter()
+        .find(|a| a.ends_with(".json"))
+        .cloned()
+        .unwrap_or_else(|| "trace.json".to_owned());
+
+    let report = run_inference(
+        &model,
+        &RunParams::new(PAPER_SEQ_LEN).strategy(strategy),
+        device.clone(),
+    )
+    .expect("launchable");
+    let json = to_chrome_trace(&report.timeline);
+    std::fs::write(&path, &json).expect("writable output path");
+    println!(
+        "wrote {path}: {} kernels, {:.2} ms simulated on {} ({}, {})",
+        report.timeline.len(),
+        report.total_time_s() * 1e3,
+        device.name,
+        model.name,
+        strategy.label(),
+    );
+    println!("open in chrome://tracing or https://ui.perfetto.dev");
+}

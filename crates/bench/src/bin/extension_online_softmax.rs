@@ -1,0 +1,69 @@
+//! Extension experiment: the paper's SDF vs fully fused online-softmax
+//! attention (the §7-adjacent approach that later became FlashAttention).
+//!
+//! SDF eliminates the softmax layer's attention-matrix traffic but the
+//! `x'` matrix still crosses DRAM twice (fused-QK write, fused-PV read).
+//! Online softmax eliminates the attention matrix entirely. This experiment
+//! quantifies how much headroom the paper's approach left on the table —
+//! and where SDF remains competitive (short sequences, where the matrix is
+//! small and the fused kernel's occupancy cost dominates).
+
+use resoftmax_bench::device_from_args;
+use resoftmax_core::format::{render_table, speedup};
+use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+
+    println!(
+        "EXTENSION: SDF vs fully fused online softmax on {} (batch 1)\n",
+        device.name
+    );
+    let mut rows = Vec::new();
+    for model in ModelConfig::all_eval_models() {
+        for l in [1024usize, 4096, 8192] {
+            let p = RunParams::new(l);
+            let base = run_inference(&model, &p, device.clone()).expect("launchable");
+            let sdf = run_inference(
+                &model,
+                &p.clone().strategy(SoftmaxStrategy::Recomposed),
+                device.clone(),
+            )
+            .expect("launchable");
+            let online = run_inference(
+                &model,
+                &p.strategy(SoftmaxStrategy::OnlineFused),
+                device.clone(),
+            )
+            .expect("launchable");
+            rows.push(vec![
+                model.name.clone(),
+                format!("{l}"),
+                speedup(base.total_time_s() / sdf.total_time_s()),
+                speedup(base.total_time_s() / online.total_time_s()),
+                format!("{:.2}x", sdf.total_dram_bytes() / base.total_dram_bytes()),
+                format!(
+                    "{:.2}x",
+                    online.total_dram_bytes() / base.total_dram_bytes()
+                ),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "L",
+                "SDF speedup",
+                "Online speedup",
+                "SDF traffic",
+                "Online traffic"
+            ],
+            &rows
+        )
+    );
+    println!("\nSDF halves the attention-matrix traffic; online softmax removes it.");
+    println!("The gap is the headroom FlashAttention later claimed.");
+}

@@ -1,0 +1,64 @@
+//! Extension experiment: softmax recomposition on an encoder–decoder
+//! (vanilla) transformer — the §2.1 model class the paper's evaluation
+//! omits. A decoder layer has two softmax layers (causal self-attention and
+//! rectangular cross-attention); both recompose unchanged.
+
+use resoftmax_bench::device_from_args;
+use resoftmax_core::format::{pct, render_table, speedup};
+use resoftmax_model::{run_seq2seq, RunParams, Seq2SeqConfig, SoftmaxStrategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+    let cfg = Seq2SeqConfig::vanilla_transformer_big();
+
+    println!(
+        "EXTENSION: encoder–decoder ({}) on {} — recomposition on self- and cross-attention\n",
+        cfg.name, device.name
+    );
+    let mut rows = Vec::new();
+    for (src, tgt) in [(1024usize, 1024usize), (4096, 1024), (4096, 4096)] {
+        let p = RunParams::new(src);
+        let base = run_seq2seq(&cfg, src, tgt, &p, device.clone()).expect("launchable");
+        let sdf = run_seq2seq(
+            &cfg,
+            src,
+            tgt,
+            &p.clone().strategy(SoftmaxStrategy::Recomposed),
+            device.clone(),
+        )
+        .expect("launchable");
+        let online = run_seq2seq(
+            &cfg,
+            src,
+            tgt,
+            &p.strategy(SoftmaxStrategy::OnlineFused),
+            device.clone(),
+        )
+        .expect("launchable");
+        rows.push(vec![
+            format!("{src}"),
+            format!("{tgt}"),
+            format!("{:.2} ms", base.total_time_s() * 1e3),
+            pct(base.softmax_time_fraction()),
+            speedup(base.total_time_s() / sdf.total_time_s()),
+            speedup(base.total_time_s() / online.total_time_s()),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "src L",
+                "tgt L",
+                "baseline",
+                "softmax frac",
+                "SDF",
+                "Online"
+            ],
+            &rows
+        )
+    );
+    println!("\nCross-attention's rectangular L_tgt × L_src matrix recomposes exactly");
+    println!("like the square case: LS tiling only sees tiles, not squareness.");
+}

@@ -1,0 +1,75 @@
+//! Extension experiment: serving a long-document corpus — max-length padding
+//! vs length-bucketed batching, with and without recomposition.
+//!
+//! §2.2 motivates long `L` by document coverage; in *serving*, padding every
+//! document to the model maximum wastes quadratic attention work on the
+//! short ones. Length bucketing recovers that waste, and recomposition
+//! stacks on top (its speedup grows with the bucket length, Fig. 9(a)).
+
+use resoftmax_bench::device_from_args;
+use resoftmax_core::format::render_table;
+use resoftmax_model::{
+    run_inference, ModelConfig, RunParams, SoftmaxStrategy, Workload, WorkloadConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+    let corpus = Workload::generate(&WorkloadConfig::default());
+    let model = ModelConfig::bert_large();
+    let batch = 8usize;
+    let buckets = [512usize, 1024, 2048, 4096, 8192];
+    let max_len = *buckets.last().expect("non-empty");
+
+    println!(
+        "EXTENSION: serving {} documents on {} ({}, batch {batch})\n",
+        corpus.len(),
+        device.name,
+        model.name
+    );
+
+    let corpus_time = |plan: &[(usize, usize)], strategy: SoftmaxStrategy| -> f64 {
+        plan.iter()
+            .map(|&(l, iters)| {
+                let r = run_inference(
+                    &model,
+                    &RunParams::new(l).batch(batch).strategy(strategy),
+                    device.clone(),
+                )
+                .expect("launchable");
+                r.total_time_s() * iters as f64
+            })
+            .sum()
+    };
+
+    let flat_plan = vec![(max_len, corpus.iterations(batch))];
+    let bucket_plan = corpus.bucketed_iterations(&buckets, batch);
+
+    let mut rows = Vec::new();
+    let mut flat_base = 0.0;
+    for (plan_name, plan) in [("pad to max", &flat_plan), ("bucketed", &bucket_plan)] {
+        for strategy in [SoftmaxStrategy::Baseline, SoftmaxStrategy::Recomposed] {
+            let t = corpus_time(plan, strategy);
+            if flat_base == 0.0 {
+                flat_base = t;
+            }
+            rows.push(vec![
+                plan_name.to_owned(),
+                strategy.label().to_owned(),
+                format!("{t:.1} s"),
+                format!("{:.2}x", flat_base / t),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &["batching", "softmax", "corpus time", "vs padded baseline"],
+            &rows
+        )
+    );
+
+    println!("\nbucket plan: {bucket_plan:?} (length, iterations)");
+    println!("Bucketing removes quadratic padding waste; recomposition compounds on");
+    println!("top — largest on the big buckets where the softmax share peaks.");
+}

@@ -1,0 +1,59 @@
+//! Fig. 2: execution-time breakdown of BERT, GPT-Neo, BigBird and Longformer
+//! (L = 4096, batch 1). Paper reference points: softmax uses 36% / 18% /
+//! 40% / 42% of total time; BERT's SDA block uses 68%.
+
+use resoftmax_bench::{device_from_args, json_requested, print_json, PAPER_SEQ_LEN};
+use resoftmax_core::experiments::fig2_breakdown;
+use resoftmax_core::format::{ms, pct, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+    let seq_len = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(PAPER_SEQ_LEN);
+
+    let rows = fig2_breakdown(&device, seq_len).expect("launchable");
+    if json_requested(&args) {
+        print_json(&rows);
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                ms(r.total_ms),
+                pct(r.matmul_sda_frac),
+                pct(r.softmax_frac),
+                pct(r.fc_frac),
+                pct(r.feedforward_frac),
+                pct(r.etc_frac),
+                pct(r.sda_frac),
+            ]
+        })
+        .collect();
+
+    println!(
+        "FIG 2: Execution time breakdown on {} (L={seq_len}, batch=1)",
+        device.name
+    );
+    println!("Paper (A100, L=4096): softmax 36%/18%/40%/42%; BERT SDA 68%\n");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "total",
+                "MatMul(SDA)",
+                "Softmax",
+                "FC",
+                "FeedForward",
+                "etc.",
+                "[SDA total]"
+            ],
+            &table
+        )
+    );
+}

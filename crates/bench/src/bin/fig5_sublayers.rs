@@ -1,0 +1,41 @@
+//! Fig. 5: (a) execution-time and (b) off-chip-traffic breakdown of the
+//! decomposed softmax into LS / IR / GS. Paper: IR stays below 12.5% of
+//! decomposed-softmax time; LS and GS dominate.
+
+use resoftmax_bench::{device_from_args, PAPER_SEQ_LEN};
+use resoftmax_core::experiments::fig5_sublayers;
+use resoftmax_core::format::{pct, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+
+    let rows = fig5_sublayers(&device, PAPER_SEQ_LEN).expect("launchable");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                pct(r.ls_time_frac),
+                pct(r.ir_time_frac),
+                pct(r.gs_time_frac),
+                pct(r.ls_dram_frac),
+                pct(r.ir_dram_frac),
+                pct(r.gs_dram_frac),
+            ]
+        })
+        .collect();
+
+    println!(
+        "FIG 5: Decomposed-softmax sub-layer shares on {} (L={PAPER_SEQ_LEN})",
+        device.name
+    );
+    println!("Paper: IR < 12.5% of time; LS and GS dominate both charts\n");
+    print!(
+        "{}",
+        render_table(
+            &["model", "LS time", "IR time", "GS time", "LS dram", "IR dram", "GS dram"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,42 @@
+//! Fig. 7: average execution time of existing GPU libraries vs the paper's
+//! baseline, on BERT-large (dense) and BigBird-large (sparse), L = 4096.
+//! Paper: TensorRT is the best dense library (< 1% from the baseline),
+//! DeepSpeed the best sparse one (within ~8%); AutoTVM is 1.49× slower than
+//! the baseline on BERT-large.
+
+use resoftmax_bench::{device_from_args, PAPER_SEQ_LEN};
+use resoftmax_core::experiments::fig7_libraries;
+use resoftmax_core::format::{ms, render_table, speedup};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+
+    let rows = fig7_libraries(&device, PAPER_SEQ_LEN).expect("launchable");
+    for model in ["BERT-large", "BigBird-large"] {
+        let ours = rows
+            .iter()
+            .find(|r| r.model == model && r.library == "Ours-baseline")
+            .expect("baseline present")
+            .total_ms;
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|r| r.model == model)
+            .map(|r| {
+                vec![
+                    r.library.clone(),
+                    ms(r.total_ms),
+                    speedup(r.total_ms / ours),
+                ]
+            })
+            .collect();
+        println!(
+            "\nFIG 7: {model} on {} (L={PAPER_SEQ_LEN}, batch=1)",
+            device.name
+        );
+        print!(
+            "{}",
+            render_table(&["library", "latency", "vs ours"], &table)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 8: (a) execution time and (b) off-chip memory accesses per iteration
+//! with softmax decomposition (SD) and decomposition+fusion (SDF) applied.
+//! Paper (A100, L=4096, batch 1): SD 0.94× / 0.99× / 1.44× / 1.49×;
+//! SDF 1.25× / 1.12× / 1.57× / 1.65×; softmax off-chip traffic reduced
+//! 1.58–2.51×; average latency −28% and off-chip access energy −29%.
+
+use resoftmax_bench::{device_from_args, json_requested, print_json, PAPER_SEQ_LEN};
+use resoftmax_core::experiments::fig8_sd_sdf;
+use resoftmax_core::format::{gb, ms, pct, render_table, speedup};
+use resoftmax_gpusim::KernelCategory;
+use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+
+    let rows = fig8_sd_sdf(&device, PAPER_SEQ_LEN, 1).expect("launchable");
+    if json_requested(&args) {
+        print_json(&rows);
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                ms(r.baseline_ms),
+                gb(r.baseline_gb * 1e9),
+                speedup(r.sd_speedup),
+                speedup(r.sdf_speedup),
+                format!("{:.2}x", r.sd_traffic),
+                format!("{:.2}x", r.sdf_traffic),
+                format!("{:.2}x", r.sdf_energy),
+                format!("{:.2}x less", 1.0 / r.softmax_traffic_ratio),
+            ]
+        })
+        .collect();
+
+    println!(
+        "FIG 8: SD / SDF vs baseline on {} (L={PAPER_SEQ_LEN}, batch=1)",
+        device.name
+    );
+    println!("Paper: SD 0.94/0.99/1.44/1.49x; SDF 1.25/1.12/1.57/1.65x\n");
+    print!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "baseline",
+                "base traffic",
+                "SD speedup",
+                "SDF speedup",
+                "SD traffic",
+                "SDF traffic",
+                "SDF energy",
+                "softmax traffic cut"
+            ],
+            &table
+        )
+    );
+
+    let avg_latency: f64 =
+        rows.iter().map(|r| 1.0 - 1.0 / r.sdf_speedup).sum::<f64>() / rows.len() as f64;
+    let avg_energy: f64 = rows.iter().map(|r| 1.0 - r.sdf_energy).sum::<f64>() / rows.len() as f64;
+    println!(
+        "\nAverages: per-inference latency -{:.0}%, off-chip access energy -{:.0}%",
+        avg_latency * 100.0,
+        avg_energy * 100.0
+    );
+    println!("Paper abstract: latency -28%, off-chip access energy -29%");
+
+    // Fig. 8(a)'s stacked bars: the per-category composition per strategy.
+    println!("\nPer-strategy composition (Fig. 8(a) stacks):\n");
+    let mut stack_rows = Vec::new();
+    for model in ModelConfig::all_eval_models() {
+        for strategy in [
+            SoftmaxStrategy::Baseline,
+            SoftmaxStrategy::Decomposed,
+            SoftmaxStrategy::Recomposed,
+        ] {
+            let r = run_inference(
+                &model,
+                &RunParams::new(PAPER_SEQ_LEN).strategy(strategy),
+                device.clone(),
+            )
+            .expect("launchable");
+            let b = r.breakdown();
+            let total = b.total_time_s();
+            let frac = |cats: &[KernelCategory]| -> String {
+                pct(cats.iter().map(|&c| b.time_of(c)).sum::<f64>() / total)
+            };
+            stack_rows.push(vec![
+                model.name.clone(),
+                strategy.label().to_owned(),
+                ms(total * 1e3),
+                frac(&[KernelCategory::MatMulQk, KernelCategory::MatMulPv]),
+                pct(b.softmax_time_s() / total),
+                frac(&[KernelCategory::Fc]),
+                frac(&[KernelCategory::FeedForward]),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "strategy",
+                "total",
+                "MatMul(SDA)",
+                "Softmax",
+                "FC",
+                "FeedForward"
+            ],
+            &stack_rows
+        )
+    );
+}

@@ -1,0 +1,73 @@
+//! Fig. 9: SDF speedup (a) over sequence length and (b) over batch size.
+//! Paper: speedup grows with L for all four models; larger batches raise the
+//! sparse models' speedup (at batch 8, softmax grows from 40% to 48% of
+//! BigBird's time while MatMul shrinks from 17% to 10%).
+
+use resoftmax_bench::{device_from_args, PAPER_SEQ_LEN};
+use resoftmax_core::experiments::{fig9_batch_sweep, fig9_seq_sweep, SweepPoint};
+use resoftmax_core::format::{pct, render_table, speedup};
+
+fn print_sweep(
+    title: &str,
+    key: &str,
+    points: &[SweepPoint],
+    key_of: impl Fn(&SweepPoint) -> usize,
+) {
+    println!("\n{title}");
+    let mut models: Vec<String> = Vec::new();
+    for p in points {
+        if !models.contains(&p.model) {
+            models.push(p.model.clone());
+        }
+    }
+    let table: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.model.clone(),
+                format!("{}", key_of(p)),
+                speedup(p.sdf_speedup),
+                pct(p.softmax_frac),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["model", key, "SDF speedup", "softmax frac"], &table)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let device = device_from_args(&args);
+    let mode = args
+        .iter()
+        .map(String::as_str)
+        .find(|s| matches!(*s, "seq" | "batch" | "all"))
+        .unwrap_or("all");
+
+    if mode == "seq" || mode == "all" {
+        let points = fig9_seq_sweep(&device, &[512, 1024, 2048, 4096, 8192]).expect("launchable");
+        print_sweep(
+            &format!(
+                "FIG 9(a): SDF speedup vs sequence length on {}",
+                device.name
+            ),
+            "L",
+            &points,
+            |p| p.seq_len,
+        );
+    }
+    if mode == "batch" || mode == "all" {
+        let points = fig9_batch_sweep(&device, PAPER_SEQ_LEN, &[1, 2, 4, 8]).expect("launchable");
+        print_sweep(
+            &format!(
+                "FIG 9(b): SDF speedup vs batch size on {} (L={PAPER_SEQ_LEN})",
+                device.name
+            ),
+            "batch",
+            &points,
+            |p| p.batch,
+        );
+    }
+}

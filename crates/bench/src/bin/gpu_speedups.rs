@@ -1,0 +1,36 @@
+//! §5.1: SDF speedups across all three evaluation GPUs.
+//! Paper: A100 1.25/1.12/1.57/1.65×; RTX 3090 1.12/1.05/1.32/1.36×;
+//! T4 1.22/1.08/1.77/1.87× (BERT / GPT-Neo / BigBird / Longformer).
+
+use resoftmax_bench::{json_requested, print_json, PAPER_SEQ_LEN};
+use resoftmax_core::experiments::gpu_speedup_matrix;
+use resoftmax_core::format::{pct, render_table, speedup};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows = gpu_speedup_matrix(PAPER_SEQ_LEN).expect("launchable");
+    if json_requested(&args) {
+        print_json(&rows);
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.model.clone(),
+                speedup(r.sdf_speedup),
+                pct(r.softmax_frac),
+            ]
+        })
+        .collect();
+    println!("§5.1: SDF speedup per GPU (L={PAPER_SEQ_LEN}, batch=1)");
+    println!("Paper: A100 1.25/1.12/1.57/1.65; 3090 1.12/1.05/1.32/1.36; T4 1.22/1.08/1.77/1.87\n");
+    print!(
+        "{}",
+        render_table(
+            &["device", "model", "SDF speedup", "baseline softmax frac"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,73 @@
+//! Full design-space sweep exported as CSV (default) or JSON (`--json`):
+//! every model × strategy × L × batch on the chosen device(s) — the raw
+//! material for regenerating any figure externally.
+//!
+//! ```text
+//! cargo run --release -p resoftmax-bench --bin grid_sweep > sweep.csv
+//! cargo run --release -p resoftmax-bench --bin grid_sweep -- t4 --json
+//! ```
+
+use resoftmax_bench::{json_requested, print_json};
+use resoftmax_core::experiments::full_grid_sweep;
+use resoftmax_core::format::render_csv;
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::SoftmaxStrategy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let devices: Vec<DeviceSpec> = if args.iter().any(|a| a == "all") {
+        DeviceSpec::all_presets()
+    } else {
+        vec![resoftmax_bench::device_from_args(&args)]
+    };
+    let points = full_grid_sweep(
+        &devices,
+        &[512, 1024, 2048, 4096, 8192],
+        &[1, 2, 4, 8],
+        &[
+            SoftmaxStrategy::Baseline,
+            SoftmaxStrategy::Decomposed,
+            SoftmaxStrategy::Recomposed,
+            SoftmaxStrategy::OnlineFused,
+        ],
+    )
+    .expect("launchable");
+
+    if json_requested(&args) {
+        print_json(&points);
+        return;
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.device.clone(),
+                p.model.clone(),
+                p.strategy.clone(),
+                p.seq_len.to_string(),
+                p.batch.to_string(),
+                format!("{:.4}", p.total_ms),
+                format!("{:.4}", p.dram_gb),
+                format!("{:.6}", p.energy_j),
+                format!("{:.4}", p.softmax_frac),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_csv(
+            &[
+                "device",
+                "model",
+                "strategy",
+                "seq_len",
+                "batch",
+                "total_ms",
+                "dram_gb",
+                "energy_j",
+                "softmax_frac"
+            ],
+            &rows
+        )
+    );
+}

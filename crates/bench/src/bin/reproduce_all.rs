@@ -1,0 +1,160 @@
+//! Runs the entire evaluation — every table, figure, ablation and extension —
+//! in one invocation, printing the same output as the individual binaries.
+//!
+//! ```text
+//! cargo run --release -p resoftmax-bench --bin reproduce_all > results.txt
+//! ```
+
+use resoftmax_bench::PAPER_SEQ_LEN;
+use resoftmax_core::experiments::{
+    fig2_breakdown, fig5_sublayers, fig7_libraries, fig8_sd_sdf, fig9_batch_sweep, fig9_seq_sweep,
+    gpu_speedup_matrix,
+};
+use resoftmax_core::format::{pct, render_table, speedup};
+use resoftmax_core::verify::{verify_backward, verify_decomposition, verify_fusion, verify_online};
+use resoftmax_gpusim::DeviceSpec;
+
+fn header(s: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{s}");
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    let a100 = DeviceSpec::a100();
+
+    header("NUMERIC VERIFICATION (Eq. 1/2/3, Fig. 6)");
+    let eq = verify_decomposition(16, 1024, 64, 2026);
+    println!(
+        "decomposed vs monolithic softmax: f64 |Δ|max {:.1e}, f32 {:.1e}, fp16 {:.1e} ({} ULP)",
+        eq.max_abs_f64, eq.max_abs_f32, eq.max_abs_fp16, eq.max_ulp_fp16
+    );
+    let fu = verify_fusion(256, 64, 64, 2027);
+    println!(
+        "fused pipeline vs unfused attention: f64 |Δ|max {:.1e}, fp16 {:.1e}",
+        fu.max_abs_f64, fu.max_abs_fp16
+    );
+    println!(
+        "Eq. 3 backward vs finite differences: |Δ|max {:.1e}",
+        verify_backward(4, 64, 2028)
+    );
+    let online = verify_online(256, 64, 64, 2029);
+    println!(
+        "online softmax vs references: dense |Δ|max {:.1e}, block-sparse {:.1e}",
+        online.dense_max_abs, online.sparse_max_abs
+    );
+
+    header("FIG 2: execution-time breakdown (A100, L=4096)");
+    let rows = fig2_breakdown(&a100, PAPER_SEQ_LEN).unwrap();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.2} ms", r.total_ms),
+                pct(r.softmax_frac),
+                pct(r.sda_frac),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["model", "total", "softmax", "SDA"], &t)
+    );
+
+    header("FIG 5: LS/IR/GS shares (A100, L=4096, SD)");
+    let rows = fig5_sublayers(&a100, PAPER_SEQ_LEN).unwrap();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                pct(r.ls_time_frac),
+                pct(r.ir_time_frac),
+                pct(r.gs_time_frac),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["model", "LS", "IR", "GS"], &t));
+
+    header("FIG 7: library comparison (A100, L=4096)");
+    let rows = fig7_libraries(&a100, PAPER_SEQ_LEN).unwrap();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.library.clone(),
+                format!("{:.2} ms", r.total_ms),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["model", "library", "latency"], &t));
+
+    header("FIG 8: SD / SDF vs baseline (A100, L=4096, batch 1)");
+    let rows = fig8_sd_sdf(&a100, PAPER_SEQ_LEN, 1).unwrap();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                speedup(r.sd_speedup),
+                speedup(r.sdf_speedup),
+                format!("{:.2}x", r.sdf_traffic),
+                format!("{:.2}x less", 1.0 / r.softmax_traffic_ratio),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["model", "SD", "SDF", "SDF traffic", "softmax cut"], &t)
+    );
+
+    header("FIG 9(a): SDF speedup vs L (A100)");
+    let pts = fig9_seq_sweep(&a100, &[512, 1024, 2048, 4096, 8192]).unwrap();
+    let t: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.model.clone(),
+                format!("{}", p.seq_len),
+                speedup(p.sdf_speedup),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["model", "L", "SDF"], &t));
+
+    header("FIG 9(b): SDF speedup vs batch (A100, L=4096)");
+    let pts = fig9_batch_sweep(&a100, PAPER_SEQ_LEN, &[1, 2, 4, 8]).unwrap();
+    let t: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.model.clone(),
+                format!("{}", p.batch),
+                speedup(p.sdf_speedup),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["model", "batch", "SDF"], &t));
+
+    header("§5.1: per-GPU SDF speedups (L=4096)");
+    let rows = gpu_speedup_matrix(PAPER_SEQ_LEN).unwrap();
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.model.clone(),
+                speedup(r.sdf_speedup),
+                pct(r.softmax_frac),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["device", "model", "SDF", "softmax frac"], &t)
+    );
+
+    println!("\nDone. Individual binaries offer more detail (fig*, ablation_*, extension_*).");
+}

@@ -1,0 +1,39 @@
+//! Table 1: specifications of the GPUs used in the evaluation.
+
+use resoftmax_core::experiments::table1_devices;
+use resoftmax_core::format::render_table;
+
+fn main() {
+    let devices = table1_devices();
+    let mut rows = Vec::new();
+    let spec_row = |label: &str, f: &dyn Fn(&resoftmax_gpusim::DeviceSpec) -> String| {
+        let mut row = vec![label.to_owned()];
+        row.extend(devices.iter().map(f));
+        row
+    };
+    rows.push(spec_row("Memory Bandwidth (GB/s)", &|d| {
+        format!("{:.1}", d.mem_bandwidth_gbps)
+    }));
+    rows.push(spec_row("TFLOPS (FP16 CUDA)*", &|d| {
+        format!("{:.1}", d.fp16_cuda_tflops)
+    }));
+    rows.push(spec_row("TFLOPS (FP16 Tensor)*", &|d| {
+        format!("{:.0}", d.fp16_tensor_tflops)
+    }));
+    rows.push(spec_row("L1 D$ per SM (KB)**", &|d| {
+        format!("{}", d.l1_kb_per_sm)
+    }));
+    rows.push(spec_row("L2 (MB)", &|d| format!("{:.0}", d.l2_mb)));
+    rows.push(spec_row("SMs", &|d| format!("{}", d.num_sms)));
+    rows.push(spec_row("Tensor FLOP/Byte ratio", &|d| {
+        format!("{:.0}", d.tensor_flops_per_byte())
+    }));
+
+    let mut headers = vec![""];
+    let names: Vec<String> = devices.iter().map(|d| d.name.clone()).collect();
+    headers.extend(names.iter().map(String::as_str));
+
+    println!("TABLE 1: Specifications of the GPUs used in the evaluation");
+    println!("(*peak rates at base clock; **combined L1/shared memory block)\n");
+    print!("{}", render_table(&headers, &rows));
+}

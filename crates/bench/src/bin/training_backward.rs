@@ -1,0 +1,57 @@
+//! §6 (Discussion): applying softmax recomposition to training.
+//!
+//! The paper's argument: Eq. 3 expresses the softmax backward pass purely in
+//! terms of the *output* `Y`, so the forward pass never needs to store the
+//! softmax *input* off-chip — recomposition (which avoids exactly that
+//! store) stays legal in training. This binary demonstrates both halves:
+//! the gradient check, and the traffic a naive input-stashing forward pass
+//! would have added.
+
+use resoftmax_core::format::{gb, render_table};
+use resoftmax_core::verify::verify_backward;
+use resoftmax_kernels::costs::AttnDims;
+
+fn main() {
+    println!("§6: Softmax recomposition in training\n");
+
+    // 1. Eq. 3 is correct: backward-from-output matches finite differences.
+    let worst = verify_backward(4, 64, 2026);
+    println!(
+        "Eq. 3 gradient check (backward from Y only) max |Δ| vs finite differences: {worst:.2e}"
+    );
+    assert!(worst < 1e-5, "gradient check failed");
+    println!("=> the softmax input is never needed by the backward pass\n");
+
+    // 2. What that saves: a forward pass that stashed softmax inputs would
+    // write (and the backward re-read) one attention matrix per layer.
+    let mut rows = Vec::new();
+    for (model, layers, d_head, heads) in [
+        ("BERT-large", 24usize, 64usize, 16usize),
+        ("GPT-Neo-1.3B", 24, 128, 16),
+    ] {
+        let dims = AttnDims::new(4096, d_head, heads, 1);
+        let per_layer = dims.attn_bytes() as f64;
+        let stash = per_layer * layers as f64;
+        rows.push(vec![
+            model.to_owned(),
+            gb(per_layer),
+            gb(stash),
+            gb(2.0 * stash),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "softmax input / layer",
+                "stash per fwd pass",
+                "fwd write + bwd read avoided"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\n(L=4096, batch 1, FP16 — the storage the recomposed forward pass never materializes)"
+    );
+}

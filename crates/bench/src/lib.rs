@@ -1,0 +1,66 @@
+//! Shared helpers for the experiment binaries (`src/bin/*`) and criterion
+//! benches that regenerate every table and figure of the paper.
+//!
+//! Run any experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p resoftmax-bench --bin fig8_sd_sdf
+//! cargo run --release -p resoftmax-bench --bin fig9_sweeps -- seq
+//! cargo run --release -p resoftmax-bench --bin fig2_breakdown -- t4
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use resoftmax_gpusim::DeviceSpec;
+
+/// Resolves a device name from an optional CLI argument
+/// (`a100` default, `3090`, `t4`).
+pub fn device_from_args(args: &[String]) -> DeviceSpec {
+    match args
+        .iter()
+        .map(|s| s.to_lowercase())
+        .find(|s| matches!(s.as_str(), "a100" | "3090" | "rtx3090" | "t4"))
+    {
+        None => DeviceSpec::a100(),
+        Some(s) => match s.as_str() {
+            "a100" => DeviceSpec::a100(),
+            "3090" | "rtx3090" => DeviceSpec::rtx3090(),
+            "t4" => DeviceSpec::t4(),
+            _ => unreachable!(),
+        },
+    }
+}
+
+/// Paper's evaluation sequence length.
+pub const PAPER_SEQ_LEN: usize = 4096;
+
+/// `true` if the CLI args request machine-readable output (`--json`).
+pub fn json_requested(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--json")
+}
+
+/// Serializes experiment rows as pretty JSON for scripting against the
+/// binaries (`fig8_sd_sdf -- --json | jq ...`).
+pub fn print_json<T: serde::Serialize>(rows: &T) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(rows).expect("experiment rows serialize")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_parsing() {
+        assert_eq!(device_from_args(&[]).name, "A100");
+        assert_eq!(device_from_args(&["t4".into()]).name, "T4");
+        assert_eq!(device_from_args(&["3090".into()]).name, "RTX 3090");
+        assert_eq!(
+            device_from_args(&["seq".into(), "a100".into()]).name,
+            "A100"
+        );
+    }
+}

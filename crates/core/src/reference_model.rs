@@ -1,0 +1,222 @@
+//! A numerically executable transformer encoder — the whole-model
+//! counterpart of the per-layer equivalence proofs.
+//!
+//! The cost-model engine (`resoftmax_model`) prices full models but does not
+//! compute them; this module *computes* a (small) multi-head encoder with
+//! seeded random weights, running its attention under any
+//! [`AttentionImpl`] — baseline monolithic softmax, the paper's recomposed
+//! pipeline, or the online-softmax extension — and shows the outputs agree.
+//! This is the strongest form of the paper's correctness claim: not just
+//! softmax-in-isolation, but 24 layers of FC / MHA / LayerNorm / GeLU
+//! compounding on top of it.
+
+use resoftmax_kernels::{
+    gelu, layernorm_numeric, linear, online_attention, recomposed_attention, reference_attention,
+    residual,
+};
+use resoftmax_tensor::{randn_matrix, Matrix, Scalar, ShapeError};
+
+/// Which attention implementation the encoder uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionImpl {
+    /// Unfused reference: `Q·Kᵀ` → scale → softmax → `P·V`.
+    Baseline,
+    /// The paper's recomposed pipeline (fused LS → IR → fused GS), with the
+    /// given sub-vector length `T`.
+    Recomposed {
+        /// Sub-vector / tile width.
+        t: usize,
+    },
+    /// Online-softmax fully fused attention with tile width `t`.
+    Online {
+        /// K/V tile width.
+        t: usize,
+    },
+}
+
+/// Weights of one encoder layer.
+#[derive(Debug, Clone)]
+struct LayerWeights<T: Scalar> {
+    wq: Matrix<T>,
+    wk: Matrix<T>,
+    wv: Matrix<T>,
+    wo: Matrix<T>,
+    w1: Matrix<T>,
+    w2: Matrix<T>,
+    bias_q: Vec<T>,
+    bias_k: Vec<T>,
+    bias_v: Vec<T>,
+    bias_o: Vec<T>,
+    bias_1: Vec<T>,
+    bias_2: Vec<T>,
+    ln1_g: Vec<T>,
+    ln1_b: Vec<T>,
+    ln2_g: Vec<T>,
+    ln2_b: Vec<T>,
+}
+
+/// A small numerically executable multi-head transformer encoder.
+#[derive(Debug, Clone)]
+pub struct ReferenceEncoder<T: Scalar> {
+    d_model: usize,
+    heads: usize,
+    layers: Vec<LayerWeights<T>>,
+}
+
+impl<T: Scalar> ReferenceEncoder<T> {
+    /// Builds an encoder with seeded random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `d_model`.
+    pub fn new(layers: usize, d_model: usize, d_ff: usize, heads: usize, seed: u64) -> Self {
+        assert!(d_model.is_multiple_of(heads), "heads must divide d_model");
+        // Xavier-ish scale keeps activations bounded through 24 layers.
+        let w_std = 1.0 / (d_model as f64).sqrt();
+        let mk = |rows: usize, cols: usize, s: u64| randn_matrix::<T>(rows, cols, w_std, s);
+        let zeros = |n: usize| vec![T::zero(); n];
+        let ones = |n: usize| vec![T::one(); n];
+        let layers = (0..layers as u64)
+            .map(|i| {
+                let s = seed.wrapping_mul(1000).wrapping_add(i * 10);
+                LayerWeights {
+                    wq: mk(d_model, d_model, s),
+                    wk: mk(d_model, d_model, s + 1),
+                    wv: mk(d_model, d_model, s + 2),
+                    wo: mk(d_model, d_model, s + 3),
+                    w1: mk(d_model, d_ff, s + 4),
+                    w2: mk(d_ff, d_model, s + 5),
+                    bias_q: zeros(d_model),
+                    bias_k: zeros(d_model),
+                    bias_v: zeros(d_model),
+                    bias_o: zeros(d_model),
+                    bias_1: zeros(d_ff),
+                    bias_2: zeros(d_model),
+                    ln1_g: ones(d_model),
+                    ln1_b: zeros(d_model),
+                    ln2_g: ones(d_model),
+                    ln2_b: zeros(d_model),
+                }
+            })
+            .collect();
+        ReferenceEncoder {
+            d_model,
+            heads,
+            layers,
+        }
+    }
+
+    /// Runs the full forward pass on an `L × d_model` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on dimension mismatch (including a `t` that
+    /// does not divide `L` for the tiled implementations).
+    pub fn forward(&self, x: &Matrix<T>, attn: AttentionImpl) -> Result<Matrix<T>, ShapeError> {
+        let d_head = self.d_model / self.heads;
+        let scale = 1.0 / (d_head as f64).sqrt();
+        let mut h = x.clone();
+        for w in &self.layers {
+            // QKV projections.
+            let q = linear(&h, &w.wq, &w.bias_q)?;
+            let k = linear(&h, &w.wk, &w.bias_k)?;
+            let v = linear(&h, &w.wv, &w.bias_v)?;
+
+            // Multi-head attention: split along the hidden axis (§2.1).
+            let l = h.rows();
+            let mut concat = Matrix::<T>::zeros(l, self.d_model);
+            for head in 0..self.heads {
+                let qh = q.block(0, head * d_head, l, d_head)?;
+                let kh = k.block(0, head * d_head, l, d_head)?;
+                let vh = v.block(0, head * d_head, l, d_head)?;
+                let out = match attn {
+                    AttentionImpl::Baseline => reference_attention(&qh, &kh, &vh, scale, None)?,
+                    AttentionImpl::Recomposed { t } => {
+                        recomposed_attention(&qh, &kh, &vh, t, scale, None)?.0
+                    }
+                    AttentionImpl::Online { t } => online_attention(&qh, &kh, &vh, t, scale, None)?,
+                };
+                concat.write_block(0, head * d_head, &out)?;
+            }
+
+            // Output projection, residual, LayerNorm.
+            let proj = linear(&concat, &w.wo, &w.bias_o)?;
+            let h1 = layernorm_numeric(&residual(&h, &proj)?, &w.ln1_g, &w.ln1_b, 1e-5)?;
+
+            // FeedForward block.
+            let ff = linear(&gelu(&linear(&h1, &w.w1, &w.bias_1)?), &w.w2, &w.bias_2)?;
+            h = layernorm_numeric(&residual(&h1, &ff)?, &w.ln2_g, &w.ln2_b, 1e-5)?;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resoftmax_fp16::F16;
+    use resoftmax_tensor::max_abs_diff;
+
+    #[test]
+    fn whole_model_strategy_equivalence_f64() {
+        // A miniature BERT: 4 layers, d_model 32, 4 heads, L 32.
+        let enc = ReferenceEncoder::<f64>::new(4, 32, 64, 4, 42);
+        let x = randn_matrix::<f64>(32, 32, 1.0, 7);
+        let base = enc.forward(&x, AttentionImpl::Baseline).unwrap();
+        let sdf = enc.forward(&x, AttentionImpl::Recomposed { t: 8 }).unwrap();
+        let online = enc.forward(&x, AttentionImpl::Online { t: 8 }).unwrap();
+        assert!(
+            max_abs_diff(&base, &sdf) < 1e-4,
+            "recomposed whole-model diff {}",
+            max_abs_diff(&base, &sdf)
+        );
+        assert!(
+            max_abs_diff(&base, &online) < 1e-4,
+            "online whole-model diff {}",
+            max_abs_diff(&base, &online)
+        );
+        // outputs are LayerNorm'd: bounded, non-degenerate
+        assert!(base.as_slice().iter().all(|v| v.abs() < 10.0));
+        assert!(resoftmax_tensor::frobenius_norm(&base) > 1.0);
+    }
+
+    #[test]
+    fn whole_model_equivalence_survives_fp16() {
+        let enc = ReferenceEncoder::<F16>::new(2, 16, 32, 2, 11);
+        let x = randn_matrix::<F16>(16, 16, 1.0, 3);
+        let base = enc.forward(&x, AttentionImpl::Baseline).unwrap();
+        let sdf = enc.forward(&x, AttentionImpl::Recomposed { t: 8 }).unwrap();
+        assert!(!base.has_nan());
+        assert!(!sdf.has_nan());
+        // fp16 compounding over 2 layers of LayerNorm'd activations
+        assert!(
+            max_abs_diff(&base, &sdf) < 0.1,
+            "fp16 whole-model diff {}",
+            max_abs_diff(&base, &sdf)
+        );
+    }
+
+    #[test]
+    fn bad_tile_is_an_error_not_a_panic() {
+        let enc = ReferenceEncoder::<f64>::new(1, 16, 32, 2, 1);
+        let x = randn_matrix::<f64>(30, 16, 1.0, 2); // 30 not divisible by 8
+        assert!(enc.forward(&x, AttentionImpl::Recomposed { t: 8 }).is_err());
+        assert!(enc.forward(&x, AttentionImpl::Baseline).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide")]
+    fn bad_heads_panics() {
+        let _ = ReferenceEncoder::<f64>::new(1, 30, 60, 4, 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ReferenceEncoder::<f64>::new(1, 16, 32, 2, 5);
+        let b = ReferenceEncoder::<f64>::new(1, 16, 32, 2, 5);
+        let x = randn_matrix::<f64>(8, 16, 1.0, 1);
+        let ya = a.forward(&x, AttentionImpl::Baseline).unwrap();
+        let yb = b.forward(&x, AttentionImpl::Baseline).unwrap();
+        assert_eq!(ya, yb);
+    }
+}

@@ -1,0 +1,206 @@
+//! Arithmetic operators for [`F16`].
+//!
+//! Each binary operation computes in `f32` and rounds the result back to
+//! binary16. Because both operands are exact in `f32` and the `f32` result is
+//! correctly rounded, a second rounding `f32 -> f16` yields the correctly
+//! rounded binary16 result for `+`, `-`, `*` (the double rounding is innocuous
+//! here: binary32 keeps 13 more mantissa bits than binary16, more than the
+//! 2·(10+1)+2 bound needed for exact-then-round addition/multiplication of
+//! 11-bit significands). Division uses `f64` to be safe.
+
+use crate::F16;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+impl Add for F16 {
+    type Output = F16;
+    #[inline]
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for F16 {
+    type Output = F16;
+    #[inline]
+    fn sub(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for F16 {
+    type Output = F16;
+    #[inline]
+    fn mul(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for F16 {
+    type Output = F16;
+    #[inline]
+    fn div(self, rhs: F16) -> F16 {
+        F16::from_f64(self.to_f64() / rhs.to_f64())
+    }
+}
+
+impl Rem for F16 {
+    type Output = F16;
+    #[inline]
+    fn rem(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() % rhs.to_f32())
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline]
+    fn neg(self) -> F16 {
+        self.negate()
+    }
+}
+
+impl AddAssign for F16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: F16) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for F16 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: F16) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for F16 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: F16) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for F16 {
+    #[inline]
+    fn div_assign(&mut self, rhs: F16) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for F16 {
+    /// Sequential half-precision accumulation (rounds after every add),
+    /// matching a scalar GPU thread's accumulation order.
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a F16> for F16 {
+    fn sum<I: Iterator<Item = &'a F16>>(iter: I) -> F16 {
+        iter.copied().sum()
+    }
+}
+
+impl Product for F16 {
+    fn product<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ONE, |acc, x| acc * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ulp_distance, F16};
+
+    #[test]
+    fn exact_small_integer_arithmetic() {
+        let three = F16::from_f32(3.0);
+        let four = F16::from_f32(4.0);
+        assert_eq!((three + four).to_f32(), 7.0);
+        assert_eq!((four - three).to_f32(), 1.0);
+        assert_eq!((three * four).to_f32(), 12.0);
+        assert_eq!((F16::from_f32(12.0) / four).to_f32(), 3.0);
+        assert_eq!((F16::from_f32(7.0) % three).to_f32(), 1.0);
+        assert_eq!((-three).to_f32(), -3.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = F16::from_f32(1.0);
+        x += F16::from_f32(2.0);
+        assert_eq!(x.to_f32(), 3.0);
+        x -= F16::ONE;
+        assert_eq!(x.to_f32(), 2.0);
+        x *= F16::from_f32(4.0);
+        assert_eq!(x.to_f32(), 8.0);
+        x /= F16::from_f32(2.0);
+        assert_eq!(x.to_f32(), 4.0);
+    }
+
+    #[test]
+    fn addition_rounds_to_nearest() {
+        // 2048 is representable; 2048 + 1 = 2049 is not (ulp at 2048 is 2).
+        // Ties-to-even keeps 2048.
+        let big = F16::from_f32(2048.0);
+        assert_eq!((big + F16::ONE).to_f32(), 2048.0);
+        // 2048 + 2 = 2050 is exactly representable.
+        assert_eq!((big + F16::from_f32(2.0)).to_f32(), 2050.0);
+        // 2048 + 3 = 2051 ties between 2050 and 2052 -> even mantissa (2052).
+        assert_eq!((big + F16::from_f32(3.0)).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let max = F16::MAX;
+        assert!((max + max).is_infinite());
+        assert!((max * F16::from_f32(2.0)).is_infinite());
+        assert!((F16::MIN - F16::MAX).is_infinite());
+        assert!((F16::MIN - F16::MAX).is_sign_negative());
+    }
+
+    #[test]
+    fn division_by_zero_gives_infinity() {
+        assert!((F16::ONE / F16::ZERO).is_infinite());
+        assert!((F16::NEG_ONE / F16::ZERO).is_sign_negative());
+        assert!((F16::ZERO / F16::ZERO).is_nan());
+    }
+
+    #[test]
+    fn sum_accumulates_in_half_precision() {
+        // Summing 4096 ones in f16: once acc hits 2048, +1 no longer moves it
+        // (ulp = 2), so the half-precision sequential sum sticks at 2048.
+        let ones = vec![F16::ONE; 4096];
+        let s: F16 = ones.iter().sum();
+        assert_eq!(s.to_f32(), 2048.0);
+    }
+
+    #[test]
+    fn product_of_halves_underflows_gradually() {
+        let halves = vec![F16::from_f32(0.5); 30];
+        let p: F16 = halves.into_iter().product();
+        // 2^-30 < 2^-24 (min subnormal) -> flushes to zero via rounding
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn mul_add_single_rounding_beats_two_roundings() {
+        // Find behaviour difference: a*b alone rounds; mul_add keeps it exact
+        // until the final add. 1.0009765625 = 1 + 2^-10 (one ulp above 1).
+        let a = F16::ONE.next_up();
+        let b = F16::ONE.next_up();
+        // a*b = 1 + 2^-9 + 2^-20 -> rounds to 1 + 2^-9 in f16.
+        let two_round = a * b - F16::ONE;
+        let fused = a.mul_add(b, F16::NEG_ONE);
+        // fused result: 2^-9 + 2^-20 rounded once
+        assert!(fused.to_f32() >= two_round.to_f32());
+        assert!(ulp_distance(fused, two_round) <= 1);
+    }
+
+    #[test]
+    fn subnormal_arithmetic() {
+        let tiny = F16::MIN_POSITIVE_SUBNORMAL;
+        assert_eq!((tiny + tiny).to_f32(), 2.0 * 2.0f32.powi(-24));
+        assert!((tiny - tiny).is_zero());
+        assert!((tiny * tiny).is_zero()); // underflows
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the software binary16 implementation.
+
+use proptest::prelude::*;
+use resoftmax_fp16::{f16_bits_from_f32, ulp_distance, F16};
+
+/// Strategy producing finite f32 values that exercise the full binary16 range
+/// including overflow/underflow neighborhoods.
+fn wide_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -70000.0f32..70000.0f32,
+        -1.0f32..1.0f32,
+        -1e-6f32..1e-6f32,
+        Just(0.0),
+        Just(-0.0),
+        Just(65504.0),
+        Just(-65504.0),
+    ]
+}
+
+/// Strategy producing arbitrary binary16 bit patterns that are not NaN.
+fn any_f16() -> impl Strategy<Value = F16> {
+    any::<u16>().prop_filter_map("NaN", |bits| {
+        let x = F16::from_bits(bits);
+        (!x.is_nan()).then_some(x)
+    })
+}
+
+/// Strategy producing finite binary16 values.
+fn finite_f16() -> impl Strategy<Value = F16> {
+    any::<u16>().prop_filter_map("not finite", |bits| {
+        let x = F16::from_bits(bits);
+        x.is_finite().then_some(x)
+    })
+}
+
+proptest! {
+    /// f32 -> f16 is correctly rounded: the result is within half an ulp of
+    /// the exact value (or the error equals exactly half an ulp on ties).
+    #[test]
+    fn conversion_is_nearest(x in wide_f32()) {
+        let h = F16::from_f32(x);
+        if h.is_finite() {
+            let err = (h.to_f64() - x as f64).abs();
+            prop_assert!(err <= h.ulp() as f64 / 2.0 + 1e-30,
+                "x={x}, h={h}, err={err}, ulp={}", h.ulp());
+        } else if !h.is_nan() {
+            // overflowed to infinity: x must be beyond the rounding boundary
+            prop_assert!(x.abs() >= 65520.0, "x={x} wrongly overflowed");
+        }
+    }
+
+    /// Round trip through f32 is the identity on non-NaN values.
+    #[test]
+    fn roundtrip_f32(h in any_f16()) {
+        let back = F16::from_f32(h.to_f32());
+        prop_assert_eq!(back.to_bits(), h.to_bits());
+    }
+
+    /// Widening preserves ordering.
+    #[test]
+    fn widening_monotone(a in any_f16(), b in any_f16()) {
+        let (fa, fb) = (a.to_f32(), b.to_f32());
+        prop_assert_eq!(a < b, fa < fb);
+        prop_assert_eq!(a == b, fa == fb);
+    }
+
+    /// Addition is commutative (bitwise, for non-NaN results).
+    #[test]
+    fn add_commutative(a in finite_f16(), b in finite_f16()) {
+        let x = a + b;
+        let y = b + a;
+        if !x.is_nan() {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Multiplication is commutative.
+    #[test]
+    fn mul_commutative(a in finite_f16(), b in finite_f16()) {
+        let x = a * b;
+        let y = b * a;
+        if !x.is_nan() {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// x - x == 0 for finite x.
+    #[test]
+    fn sub_self_is_zero(a in finite_f16()) {
+        prop_assert!((a - a).is_zero());
+    }
+
+    /// Adding zero is the identity (except -0 + 0 sign normalization).
+    #[test]
+    fn add_zero_identity(a in finite_f16()) {
+        prop_assert_eq!(a + F16::ZERO, a);
+    }
+
+    /// Multiplying by one is the identity.
+    #[test]
+    fn mul_one_identity(a in finite_f16()) {
+        prop_assert_eq!(a * F16::ONE, a);
+    }
+
+    /// a.max(b) >= both operands; a.min(b) <= both.
+    #[test]
+    fn max_min_bounds(a in any_f16(), b in any_f16()) {
+        let hi = a.max(b);
+        let lo = a.min(b);
+        prop_assert!(hi >= a && hi >= b);
+        prop_assert!(lo <= a && lo <= b);
+    }
+
+    /// ulp_distance is symmetric and zero iff value-equal.
+    #[test]
+    fn ulp_distance_symmetric(a in any_f16(), b in any_f16()) {
+        prop_assert_eq!(ulp_distance(a, b), ulp_distance(b, a));
+        if ulp_distance(a, b) == 0 {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// exp never produces values > f16 max without going to infinity, and
+    /// exp(x - max) <= 1 for x <= max: the safe-softmax invariant.
+    #[test]
+    fn safe_softmax_exponent_invariant(a in finite_f16(), m in finite_f16()) {
+        let hi = a.max(m);
+        let shifted = (a - hi).exp();
+        if !shifted.is_nan() {
+            prop_assert!(shifted <= F16::ONE, "e^(a-max) must be <= 1, got {shifted}");
+            prop_assert!(shifted.is_finite());
+        }
+    }
+
+    /// Conversion matches the sign: from_f32 never flips sign for nonzero
+    /// finite inputs.
+    #[test]
+    fn sign_preserved(x in wide_f32()) {
+        prop_assume!(x != 0.0);
+        let h = F16::from_f32(x);
+        if !h.is_zero() {
+            prop_assert_eq!(h.is_sign_negative(), x.is_sign_negative());
+        }
+    }
+
+    /// Raw bit conversion function agrees with the method.
+    #[test]
+    fn free_function_agrees(x in wide_f32()) {
+        prop_assert_eq!(f16_bits_from_f32(x), F16::from_f32(x).to_bits());
+    }
+
+    /// f64 direct conversion agrees with f32 conversion whenever the f64 is
+    /// exactly representable as f32 (no double rounding possible).
+    #[test]
+    fn f64_agrees_on_f32_exact(x in wide_f32()) {
+        let via_f32 = F16::from_f32(x);
+        let via_f64 = F16::from_f64(x as f64);
+        if !via_f32.is_nan() {
+            prop_assert_eq!(via_f32.to_bits(), via_f64.to_bits());
+        }
+    }
+}

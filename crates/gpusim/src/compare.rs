@@ -1,0 +1,162 @@
+//! Side-by-side comparison of two execution timelines — the programmatic
+//! form of the paper's "normalized to baseline" figures.
+
+use crate::kernel::KernelCategory;
+use crate::trace::Timeline;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-category delta between a baseline and a variant timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryDelta {
+    /// Category compared.
+    pub category: KernelCategory,
+    /// Baseline time in seconds (0 if the category is absent).
+    pub baseline_time_s: f64,
+    /// Variant time in seconds.
+    pub variant_time_s: f64,
+    /// Baseline DRAM bytes.
+    pub baseline_dram_bytes: f64,
+    /// Variant DRAM bytes.
+    pub variant_dram_bytes: f64,
+}
+
+impl CategoryDelta {
+    /// Time saved (positive when the variant is faster).
+    pub fn time_saved_s(&self) -> f64 {
+        self.baseline_time_s - self.variant_time_s
+    }
+}
+
+/// Comparison of two timelines (typically Baseline vs SD/SDF/Online).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// Variant speedup over baseline (total time ratio).
+    pub speedup: f64,
+    /// Variant traffic normalized to baseline.
+    pub traffic_ratio: f64,
+    /// Variant DRAM-access energy normalized to baseline.
+    pub energy_ratio: f64,
+    /// Per-category deltas, ordered by absolute time saved (largest first),
+    /// covering every category present in either timeline.
+    pub deltas: Vec<CategoryDelta>,
+}
+
+/// Compares `variant` against `baseline`.
+///
+/// # Panics
+///
+/// Panics if `baseline` has zero total time (nothing to normalize against).
+pub fn compare(baseline: &Timeline, variant: &Timeline) -> ComparisonReport {
+    let base_total = baseline.total_time_s();
+    assert!(base_total > 0.0, "baseline timeline is empty");
+
+    let collect = |t: &Timeline| -> BTreeMap<String, (KernelCategory, f64, f64)> {
+        let mut m = BTreeMap::new();
+        for c in t.breakdown().categories {
+            m.insert(
+                c.category.label().to_owned(),
+                (c.category, c.time_s, c.dram_bytes()),
+            );
+        }
+        m
+    };
+    let base = collect(baseline);
+    let var = collect(variant);
+
+    let mut labels: Vec<String> = base.keys().chain(var.keys()).cloned().collect();
+    labels.sort();
+    labels.dedup();
+
+    let mut deltas: Vec<CategoryDelta> = labels
+        .into_iter()
+        .map(|label| {
+            let b = base.get(&label);
+            let v = var.get(&label);
+            let category = b.or(v).expect("present in one").0;
+            CategoryDelta {
+                category,
+                baseline_time_s: b.map_or(0.0, |x| x.1),
+                variant_time_s: v.map_or(0.0, |x| x.1),
+                baseline_dram_bytes: b.map_or(0.0, |x| x.2),
+                variant_dram_bytes: v.map_or(0.0, |x| x.2),
+            }
+        })
+        .collect();
+    deltas.sort_by(|a, b| {
+        b.time_saved_s()
+            .abs()
+            .partial_cmp(&a.time_saved_s().abs())
+            .expect("finite")
+    });
+
+    ComparisonReport {
+        speedup: base_total / variant.total_time_s().max(f64::MIN_POSITIVE),
+        traffic_ratio: variant.total_dram_bytes() / baseline.total_dram_bytes().max(1.0),
+        energy_ratio: variant.total_energy_j() / baseline.total_energy_j().max(f64::MIN_POSITIVE),
+        deltas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::kernel::{KernelDesc, TbShape, TbWork};
+    use crate::sim::Gpu;
+
+    fn timeline(kernels: &[(&str, KernelCategory, f64)]) -> Timeline {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        for (name, cat, mb) in kernels {
+            let k = KernelDesc::builder(*name, *cat)
+                .shape(TbShape::new(256, 0, 32))
+                .uniform(1000, TbWork::memory(mb * 1e6 / 1000.0, 0.0))
+                .build();
+            gpu.launch(&k).unwrap();
+        }
+        gpu.into_timeline()
+    }
+
+    #[test]
+    fn detects_the_removed_category() {
+        let baseline = timeline(&[
+            ("qk", KernelCategory::MatMulQk, 100.0),
+            ("softmax", KernelCategory::Softmax, 200.0),
+            ("pv", KernelCategory::MatMulPv, 100.0),
+        ]);
+        let variant = timeline(&[
+            ("qk+ls", KernelCategory::MatMulQk, 130.0),
+            ("ir", KernelCategory::InterReduction, 2.0),
+            ("gs+pv", KernelCategory::MatMulPv, 130.0),
+        ]);
+        let r = compare(&baseline, &variant);
+        assert!(r.speedup > 1.0, "{}", r.speedup);
+        assert!(r.traffic_ratio < 1.0);
+        // the biggest delta is the vanished softmax
+        assert_eq!(r.deltas[0].category, KernelCategory::Softmax);
+        assert_eq!(r.deltas[0].variant_time_s, 0.0);
+        // categories only in the variant appear too
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.category == KernelCategory::InterReduction && d.baseline_time_s == 0.0));
+    }
+
+    #[test]
+    fn identical_timelines_are_neutral() {
+        let t = timeline(&[("k", KernelCategory::Other, 50.0)]);
+        let r = compare(&t, &t.clone());
+        assert!((r.speedup - 1.0).abs() < 1e-12);
+        assert!((r.traffic_ratio - 1.0).abs() < 1e-12);
+        assert!((r.energy_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(r.deltas[0].time_saved_s(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline timeline is empty")]
+    fn empty_baseline_panics() {
+        let empty = Timeline::new();
+        let t = timeline(&[("k", KernelCategory::Other, 1.0)]);
+        let _ = compare(&empty, &t);
+    }
+}

@@ -1,0 +1,162 @@
+//! Thread-block occupancy calculation.
+//!
+//! Mirrors the CUDA occupancy calculator: the number of blocks resident on an
+//! SM is limited by the max-blocks cap, threads, shared memory and the
+//! register file — whichever binds first.
+
+use crate::device::DeviceSpec;
+use crate::kernel::TbShape;
+
+/// Result of an occupancy calculation for one kernel on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Resident thread blocks per SM.
+    pub tbs_per_sm: u32,
+    /// Which resource bound the result.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource that limited occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// Hit the architectural max-blocks-per-SM cap.
+    MaxBlocks,
+    /// Thread capacity.
+    Threads,
+    /// Shared-memory capacity.
+    SharedMemory,
+    /// Register-file capacity.
+    Registers,
+}
+
+/// Error when a single thread block exceeds SM resources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchError {
+    kernel_needs: String,
+}
+
+impl core::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "thread block does not fit on an SM: {}",
+            self.kernel_needs
+        )
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Computes occupancy of `shape` on `device`.
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] if even a single block exceeds the SM's threads,
+/// shared memory, or registers — the GPU would refuse the launch.
+pub fn occupancy(device: &DeviceSpec, shape: &TbShape) -> Result<Occupancy, LaunchError> {
+    if shape.threads == 0 {
+        return Err(LaunchError {
+            kernel_needs: "zero threads per block".into(),
+        });
+    }
+    let by_threads = device.max_threads_per_sm / shape.threads;
+    let by_shared = if shape.shared_bytes == 0 {
+        u32::MAX
+    } else {
+        (device.shared_bytes_per_sm() / shape.shared_bytes as u64) as u32
+    };
+    let regs_per_tb = shape.regs_per_thread.saturating_mul(shape.threads);
+    let by_regs = device
+        .regs_per_sm
+        .checked_div(regs_per_tb)
+        .unwrap_or(u32::MAX);
+
+    let (tbs, limiter) = [
+        (device.max_tbs_per_sm, OccupancyLimiter::MaxBlocks),
+        (by_threads, OccupancyLimiter::Threads),
+        (by_shared, OccupancyLimiter::SharedMemory),
+        (by_regs, OccupancyLimiter::Registers),
+    ]
+    .into_iter()
+    .min_by_key(|&(n, _)| n)
+    .expect("non-empty");
+
+    if tbs == 0 {
+        return Err(LaunchError {
+            kernel_needs: format!(
+                "{} threads, {} B shared, {} regs/thread exceeds SM capacity of {}",
+                shape.threads, shape.shared_bytes, shape.regs_per_thread, device.name
+            ),
+        });
+    }
+    Ok(Occupancy {
+        tbs_per_sm: tbs,
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100() -> DeviceSpec {
+        DeviceSpec::a100()
+    }
+
+    #[test]
+    fn thread_limited() {
+        // 1024-thread blocks with tiny footprint: 2048/1024 = 2 per SM.
+        let occ = occupancy(&a100(), &TbShape::new(1024, 0, 16)).unwrap();
+        assert_eq!(occ.tbs_per_sm, 2);
+        assert_eq!(occ.limiter, OccupancyLimiter::Threads);
+    }
+
+    #[test]
+    fn shared_limited() {
+        // 64 KB shared per block on A100 (164 KB usable): 2 blocks.
+        let occ = occupancy(&a100(), &TbShape::new(128, 64 * 1024, 16)).unwrap();
+        assert_eq!(occ.tbs_per_sm, 2);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn register_limited() {
+        // 256 threads * 255 regs = 65280 regs per block: 1 block on 64K-reg SM.
+        let occ = occupancy(&a100(), &TbShape::new(256, 0, 255)).unwrap();
+        assert_eq!(occ.tbs_per_sm, 1);
+        assert_eq!(occ.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn max_blocks_limited() {
+        // Tiny blocks: capped at the architectural 32 blocks/SM.
+        let occ = occupancy(&a100(), &TbShape::new(32, 0, 16)).unwrap();
+        assert_eq!(occ.tbs_per_sm, 32);
+        assert_eq!(occ.limiter, OccupancyLimiter::MaxBlocks);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        // More shared memory than the SM has.
+        let err = occupancy(&a100(), &TbShape::new(128, 200 * 1024, 16)).unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+        // More threads than the SM supports is thread-limited to 0.
+        assert!(occupancy(&a100(), &TbShape::new(4096, 0, 16)).is_err());
+        // Zero threads is nonsense.
+        assert!(occupancy(&a100(), &TbShape::new(0, 0, 16)).is_err());
+    }
+
+    #[test]
+    fn t4_has_lower_occupancy_than_a100() {
+        // Same kernel shape lands fewer blocks on T4 (1024 threads/SM).
+        let shape = TbShape::new(256, 16 * 1024, 32);
+        let a = occupancy(&a100(), &shape).unwrap();
+        let t = occupancy(&DeviceSpec::t4(), &shape).unwrap();
+        assert!(
+            t.tbs_per_sm < a.tbs_per_sm,
+            "t4 {} < a100 {}",
+            t.tbs_per_sm,
+            a.tbs_per_sm
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Numeric fused attention (§3.3): `Q·Kᵀ`+Scale+Mask+**LS** epilogue and
+//! **GS**+`P·V` prologue, with GPU-faithful rounding.
+//!
+//! The fused kernels differ numerically from the unfused pipeline in exactly
+//! one way: values that previously round-tripped through half-precision
+//! off-chip storage stay in `f32` registers across the fusion boundary.
+//! Concretely:
+//!
+//! * The LS epilogue applies scale, mask, and the local exponentials to the
+//!   MatMul's *`f32` accumulator tile* before anything rounds to FP16
+//!   (the unfused path rounds the raw scores to FP16 first).
+//! * The GS prologue multiplies `x' · r'` in `f32` and rounds once to FP16
+//!   as it feeds the tensor-core MMA (whose operands must be half).
+//!
+//! Tests assert these pipelines agree with the monolithic reference within
+//! tight half-precision bounds — the paper's correctness claim ("the
+//! decomposed softmax sub-layers perform identically to the existing softmax
+//! layer in terms of mathematics") plus honest rounding.
+
+use crate::decomposed::{check_subvector, inter_reduce, InterReductionOutput};
+use resoftmax_tensor::{Matrix, Scalar, ShapeError};
+
+/// Output of the fused `Q·Kᵀ` + Scale + Mask + LS kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedQkLsOutput<T: Scalar> {
+    /// Locally-normalized attention values `X'` (`L × L`).
+    pub x_prime: Matrix<T>,
+    /// Local maxima `m'` (`L × N_sv`).
+    pub m_prime: Matrix<T>,
+    /// Local normalizers `d'` (`L × N_sv`).
+    pub d_prime: Matrix<T>,
+}
+
+/// Fused `scores = scale · (Q·Kᵀ)` + mask + local softmax over output tiles
+/// of width `t` (the LS sub-vector length equals the MatMul tile width —
+/// the condition that makes the fusion legal, §3.3).
+///
+/// `mask`, if given, is a row-major `L × L` element mask (`false` = `-inf`).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `q`/`k` disagree on `d_head`, rows differ, or
+/// `t` does not divide `L`.
+///
+/// # Panics
+///
+/// Panics if `mask` is given with the wrong length.
+pub fn fused_qk_ls<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    t: usize,
+    scale: f64,
+    mask: Option<&[bool]>,
+) -> Result<FusedQkLsOutput<T>, ShapeError> {
+    if q.cols() != k.cols() || q.rows() != k.rows() {
+        return Err(ShapeError::new(format!(
+            "fused_qk_ls q {:?} vs k {:?}",
+            q.shape(),
+            k.shape()
+        )));
+    }
+    let l = q.rows();
+    let n_sv = check_subvector(l, t)?;
+    if let Some(m) = mask {
+        assert_eq!(m.len(), l * l, "mask length mismatch");
+    }
+    let d_head = q.cols();
+
+    let mut x_prime = Matrix::zeros(l, l);
+    let mut m_prime = Matrix::zeros(l, n_sv);
+    let mut d_prime = Matrix::zeros(l, n_sv);
+
+    // One "thread block" per (row-tile is irrelevant numerically) output tile
+    // of width t: compute the f32 accumulator column strip, then the epilogue.
+    for r in 0..l {
+        for sv in 0..n_sv {
+            // MatMul inner product in f32 (tensor-core accumulate).
+            let mut acc = vec![0.0f32; t];
+            for (j, a) in acc.iter_mut().enumerate() {
+                let c = sv * t + j;
+                let mut s = 0.0f32;
+                for p in 0..d_head {
+                    s += q.get(r, p).to_f32() * k.get(c, p).to_f32();
+                }
+                *a = s;
+            }
+            // Epilogue in f32: scale, mask, local max/normalizer, exp.
+            let mut m = f32::NEG_INFINITY;
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a *= scale as f32;
+                if let Some(mk) = mask {
+                    if !mk[r * l + sv * t + j] {
+                        *a = f32::NEG_INFINITY;
+                    }
+                }
+                m = m.max(*a);
+            }
+            if m == f32::NEG_INFINITY {
+                m_prime.set(r, sv, T::neg_infinity());
+                continue;
+            }
+            let mut d = 0.0f32;
+            for a in &acc {
+                d += (a - m).exp();
+            }
+            for (j, a) in acc.iter().enumerate() {
+                // Single rounding to T on the way to off-chip storage.
+                x_prime.set(r, sv * t + j, T::from_f64(((a - m).exp() / d) as f64));
+            }
+            m_prime.set(r, sv, T::from_f64(m as f64));
+            d_prime.set(r, sv, T::from_f64(d as f64));
+        }
+    }
+    Ok(FusedQkLsOutput {
+        x_prime,
+        m_prime,
+        d_prime,
+    })
+}
+
+/// Fused GS + `P·V`: multiplies each `x'` element by its sub-vector's `r'`
+/// in `f32`, rounds once to the working precision (tensor-core operands are
+/// half), and accumulates `P·V` in `f32`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on inconsistent shapes.
+pub fn fused_gs_pv<T: Scalar>(
+    x_prime: &Matrix<T>,
+    r_prime: &Matrix<T>,
+    v: &Matrix<T>,
+    t: usize,
+) -> Result<Matrix<T>, ShapeError> {
+    let l = x_prime.rows();
+    let n_sv = check_subvector(x_prime.cols(), t)?;
+    if r_prime.shape() != (l, n_sv) {
+        return Err(ShapeError::new(format!(
+            "r' shape {:?} vs {}x{}",
+            r_prime.shape(),
+            l,
+            n_sv
+        )));
+    }
+    if v.rows() != x_prime.cols() {
+        return Err(ShapeError::new(format!(
+            "v rows {} vs L {}",
+            v.rows(),
+            x_prime.cols()
+        )));
+    }
+    let d_head = v.cols();
+    let mut out = Matrix::zeros(l, d_head);
+    for r in 0..l {
+        let mut acc = vec![0.0f32; d_head];
+        for k in 0..x_prime.cols() {
+            let rk = r_prime.get(r, k / t).to_f32();
+            // GS in f32, rounded once to feed the MMA.
+            let p = T::from_f32(x_prime.get(r, k).to_f32() * rk);
+            let pf = p.to_f32();
+            if pf == 0.0 {
+                continue;
+            }
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += pf * v.get(k, j).to_f32();
+            }
+        }
+        for (j, a) in acc.iter().enumerate() {
+            out.set(r, j, T::from_f64(*a as f64));
+        }
+    }
+    Ok(out)
+}
+
+/// The complete recomposed attention layer: fused `Q·Kᵀ`+Scale+Mask+LS,
+/// standalone IR, fused GS+`P·V` (Fig. 6 of the paper).
+///
+/// Returns the attention output (`L × D_head`) and the IR intermediates (so
+/// callers can check `m`/`d` or reuse them for training).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on any dimension mismatch.
+pub fn recomposed_attention<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    t: usize,
+    scale: f64,
+    mask: Option<&[bool]>,
+) -> Result<(Matrix<T>, InterReductionOutput<T>), ShapeError> {
+    let ls = fused_qk_ls(q, k, t, scale, mask)?;
+    let ir = inter_reduce(&ls.m_prime, &ls.d_prime);
+    let out = fused_gs_pv(&ls.x_prime, &ir.r_prime, v, t)?;
+    Ok((out, ir))
+}
+
+/// Unfused reference attention at the same working precision: scores rounded
+/// to `T`, scale+mask, monolithic softmax, `P·V` with `f32` accumulation.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on any dimension mismatch.
+pub fn reference_attention<T: Scalar>(
+    q: &Matrix<T>,
+    k: &Matrix<T>,
+    v: &Matrix<T>,
+    scale: f64,
+    mask: Option<&[bool]>,
+) -> Result<Matrix<T>, ShapeError> {
+    use crate::softmax::{apply_mask, softmax_rows};
+    use resoftmax_tensor::{matmul_transpose_b, scale as scale_op};
+
+    let scores = matmul_transpose_b(q, k)?;
+    let scaled = scale_op(&scores, scale);
+    let masked = match mask {
+        Some(m) => apply_mask(&scaled, m),
+        None => scaled,
+    };
+    let p = softmax_rows(&masked);
+    // P·V with f32 accumulation.
+    let l = p.rows();
+    let d_head = v.cols();
+    if v.rows() != p.cols() {
+        return Err(ShapeError::new(format!(
+            "v rows {} vs L {}",
+            v.rows(),
+            p.cols()
+        )));
+    }
+    let mut out = Matrix::zeros(l, d_head);
+    for r in 0..l {
+        let mut acc = vec![0.0f32; d_head];
+        for c in 0..p.cols() {
+            let pv = p.get(r, c).to_f32();
+            if pv == 0.0 {
+                continue;
+            }
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += pv * v.get(c, j).to_f32();
+            }
+        }
+        for (j, a) in acc.iter().enumerate() {
+            out.set(r, j, T::from_f64(*a as f64));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax::causal_mask;
+    use resoftmax_fp16::F16;
+    use resoftmax_tensor::{max_abs_diff, randn_matrix};
+
+    const SCALE: f64 = 0.125; // 1/sqrt(64)
+
+    #[test]
+    fn fused_matches_reference_f64() {
+        let (l, d) = (64, 16);
+        let q = randn_matrix::<f64>(l, d, 1.0, 1);
+        let k = randn_matrix::<f64>(l, d, 1.0, 2);
+        let v = randn_matrix::<f64>(l, d, 1.0, 3);
+        let reference = reference_attention(&q, &k, &v, SCALE, None).unwrap();
+        for t in [8, 16, 32, 64] {
+            let (fused, _) = recomposed_attention(&q, &k, &v, t, SCALE, None).unwrap();
+            assert!(
+                max_abs_diff(&reference, &fused) < 1e-5,
+                "T={t}: {}",
+                max_abs_diff(&reference, &fused)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_fp16() {
+        let (l, d) = (64, 32);
+        let q = randn_matrix::<F16>(l, d, 0.7, 4);
+        let k = randn_matrix::<F16>(l, d, 0.7, 5);
+        let v = randn_matrix::<F16>(l, d, 0.7, 6);
+        let reference = reference_attention(&q, &k, &v, SCALE, None).unwrap();
+        let (fused, _) = recomposed_attention(&q, &k, &v, 16, SCALE, None).unwrap();
+        // Half precision with different rounding points: small divergence
+        // allowed, catastrophic divergence not.
+        assert!(
+            max_abs_diff(&reference, &fused) < 5e-3,
+            "{}",
+            max_abs_diff(&reference, &fused)
+        );
+    }
+
+    #[test]
+    fn causal_masked_attention() {
+        let (l, d) = (32, 8);
+        let q = randn_matrix::<f64>(l, d, 1.0, 7);
+        let k = randn_matrix::<f64>(l, d, 1.0, 8);
+        let v = randn_matrix::<f64>(l, d, 1.0, 9);
+        let mask = causal_mask(l);
+        let reference = reference_attention(&q, &k, &v, SCALE, Some(&mask)).unwrap();
+        let (fused, _) = recomposed_attention(&q, &k, &v, 8, SCALE, Some(&mask)).unwrap();
+        assert!(max_abs_diff(&reference, &fused) < 1e-6);
+    }
+
+    #[test]
+    fn first_row_of_causal_attention_is_v0() {
+        // Row 0 attends only to position 0: output == v[0].
+        let (l, d) = (16, 4);
+        let q = randn_matrix::<f64>(l, d, 1.0, 10);
+        let k = randn_matrix::<f64>(l, d, 1.0, 11);
+        let v = randn_matrix::<f64>(l, d, 1.0, 12);
+        let mask = causal_mask(l);
+        let (out, _) = recomposed_attention(&q, &k, &v, 4, SCALE, Some(&mask)).unwrap();
+        for j in 0..d {
+            // f32 accumulators in the fused pipeline: ~1e-7 relative error
+            assert!((out.get(0, j) - v.get(0, j)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ir_intermediates_are_consistent() {
+        let (l, d) = (32, 8);
+        let q = randn_matrix::<f64>(l, d, 1.0, 13);
+        let k = randn_matrix::<f64>(l, d, 1.0, 14);
+        let v = randn_matrix::<f64>(l, d, 1.0, 15);
+        let (_, ir) = recomposed_attention(&q, &k, &v, 8, SCALE, None).unwrap();
+        // r' sums to 1 per row.
+        for r in 0..l {
+            let s: f64 = ir.r_prime.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r}: {s}");
+        }
+        assert_eq!(ir.m.len(), l);
+        assert_eq!(ir.d.len(), l);
+    }
+
+    #[test]
+    fn shape_errors_everywhere() {
+        let q = randn_matrix::<f64>(16, 8, 1.0, 0);
+        let k_bad = randn_matrix::<f64>(16, 4, 1.0, 0);
+        assert!(fused_qk_ls(&q, &k_bad, 4, 1.0, None).is_err());
+        let k = randn_matrix::<f64>(16, 8, 1.0, 0);
+        assert!(fused_qk_ls(&q, &k, 5, 1.0, None).is_err());
+
+        let xp = Matrix::<f64>::zeros(16, 16);
+        let rp_bad = Matrix::<f64>::zeros(16, 3);
+        let v = Matrix::<f64>::zeros(16, 8);
+        assert!(fused_gs_pv(&xp, &rp_bad, &v, 4).is_err());
+        let rp = Matrix::<f64>::zeros(16, 4);
+        let v_bad = Matrix::<f64>::zeros(8, 8);
+        assert!(fused_gs_pv(&xp, &rp, &v_bad, 4).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn wrong_mask_length_panics() {
+        let q = randn_matrix::<f64>(8, 4, 1.0, 0);
+        let k = randn_matrix::<f64>(8, 4, 1.0, 1);
+        let _ = fused_qk_ls(&q, &k, 4, 1.0, Some(&[true; 3]));
+    }
+}

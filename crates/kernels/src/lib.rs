@@ -1,0 +1,49 @@
+//! The kernel catalog: numerically exact implementations *and* cost profiles
+//! of every kernel the paper discusses.
+//!
+//! Each kernel exists twice, deliberately derived from the same tiling:
+//!
+//! * a **numeric** implementation operating on [`resoftmax_tensor::Matrix`]
+//!   values (generic over precision, including bit-exact binary16), used to
+//!   *prove* the mathematical claims — the decomposed softmax (LS/IR/GS,
+//!   Eq. 2) equals the monolithic safe softmax (Eq. 1), the fused pipelines
+//!   equal the unfused ones, the backward pass needs only `Y` (Eq. 3);
+//! * a **cost profile** ([`resoftmax_gpusim::KernelDesc`]) describing the
+//!   kernel's grid, per-thread-block resources and work, which the simulator
+//!   executes to reproduce the paper's performance results.
+//!
+//! Module map:
+//!
+//! * [`softmax_rows`], [`softmax_backward`], [`apply_mask`] — monolithic
+//!   reference (paper Eq. 1 / Eq. 3).
+//! * [`decomposed`] — LS / IR / GS (Eq. 2).
+//! * [`fused`] — MatMul+LS epilogue and GS+MatMul prologue numerics (§3.3).
+//! * [`sparse_numeric`] — block-sparse decomposed softmax (§3.4).
+//! * [`costs`] — cost profiles for all of the above plus FC / FeedForward /
+//!   LayerNorm / elementwise kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod decomposed;
+pub mod fused;
+pub mod layers;
+pub mod online;
+mod softmax;
+pub mod sparse_numeric;
+
+pub use decomposed::{
+    decomposed_softmax, decomposed_softmax_backward, global_scale, inter_reduce, local_softmax,
+    InterReductionOutput, LocalSoftmaxOutput,
+};
+pub use fused::{
+    fused_gs_pv, fused_qk_ls, recomposed_attention, reference_attention, FusedQkLsOutput,
+};
+pub use layers::{gelu, layernorm as layernorm_numeric, linear, residual};
+pub use online::{bs_online_attention, online_attention};
+pub use softmax::{apply_mask, causal_mask, softmax_backward, softmax_rows, softmax_rows_f64};
+pub use sparse_numeric::{
+    bs_decomposed_softmax, bs_decomposed_softmax_backward, bs_global_scale, bs_local_softmax,
+    bs_recomposed_attention, BsLocalSoftmaxOutput,
+};

@@ -1,0 +1,264 @@
+//! Transformer model configurations: the four models of the paper's
+//! evaluation (§4) at their published dimensions.
+
+use resoftmax_sparse::{pattern, BigBirdConfig, BlockLayout, LongformerConfig};
+use serde::{Deserialize, Serialize};
+
+/// How a model's SDA block treats the attention matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttentionKind {
+    /// Full dense attention, optionally with an autoregressive (causal) mask
+    /// (GPT-style decoders). The causal mask is elementwise; standard dense
+    /// kernels still compute the full matrix.
+    Dense {
+        /// `true` for decoder models (GPT-Neo).
+        causal: bool,
+    },
+    /// BigBird block-sparse attention (global + window + random).
+    BigBird {
+        /// Pattern parameters.
+        config: BigBirdConfig,
+    },
+    /// Longformer block-sparse attention (window + global tokens).
+    Longformer {
+        /// Pattern parameters.
+        config: LongformerConfig,
+    },
+    /// Sparse Transformer (Child et al., the paper's \[7\]) strided attention:
+    /// a local window plus every `stride`-th block column.
+    Strided {
+        /// Square block side.
+        block: usize,
+        /// One-sided local window in blocks.
+        local_blocks: usize,
+        /// Column stride in blocks.
+        stride_blocks: usize,
+    },
+}
+
+impl AttentionKind {
+    /// `true` if this kind uses block-sparse kernels.
+    pub fn is_sparse(&self) -> bool {
+        !matches!(self, AttentionKind::Dense { .. })
+    }
+
+    /// Materializes the block layout for a sequence length (dense kinds get
+    /// a fully dense layout of block 64 for uniform treatment by sparse
+    /// fallback paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len` is not a multiple of the pattern's block size.
+    pub fn layout(&self, seq_len: usize) -> BlockLayout {
+        match self {
+            AttentionKind::Dense { .. } => BlockLayout::dense(seq_len, 64),
+            AttentionKind::BigBird { config } => pattern::bigbird(seq_len, config),
+            AttentionKind::Longformer { config } => pattern::longformer(seq_len, config),
+            AttentionKind::Strided {
+                block,
+                local_blocks,
+                stride_blocks,
+            } => pattern::strided(seq_len, *block, *local_blocks, *stride_blocks),
+        }
+    }
+}
+
+/// A transformer model's architectural parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Display name, e.g. `"BERT-large"`.
+    pub name: String,
+    /// Number of encoder/decoder layers.
+    pub layers: usize,
+    /// Hidden size `D_m`.
+    pub d_model: usize,
+    /// Number of attention heads `H_num`.
+    pub heads: usize,
+    /// FeedForward inner size `D_ff` (typically `4 × D_m`).
+    pub d_ff: usize,
+    /// Attention structure.
+    pub attention: AttentionKind,
+}
+
+impl ModelConfig {
+    /// Per-head hidden size `D_head = D_m / H_num`.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// BERT-large (§4): 24 layers, `D_m` 1024, 16 heads, dense attention.
+    pub fn bert_large() -> Self {
+        ModelConfig {
+            name: "BERT-large".into(),
+            layers: 24,
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            attention: AttentionKind::Dense { causal: false },
+        }
+    }
+
+    /// GPT-Neo-1.3B (§4): 24 layers, `D_m` 2048, 16 heads, causal dense
+    /// attention.
+    pub fn gpt_neo_1_3b() -> Self {
+        ModelConfig {
+            name: "GPT-Neo-1.3B".into(),
+            layers: 24,
+            d_model: 2048,
+            heads: 16,
+            d_ff: 8192,
+            attention: AttentionKind::Dense { causal: true },
+        }
+    }
+
+    /// BigBird-large (§4): BERT-large dimensions with the HuggingFace
+    /// block-sparse pattern (block 64, window 3, 3 random blocks, global).
+    pub fn bigbird_large() -> Self {
+        ModelConfig {
+            name: "BigBird-large".into(),
+            layers: 24,
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            attention: AttentionKind::BigBird {
+                config: BigBirdConfig::default(),
+            },
+        }
+    }
+
+    /// Longformer-large (§4): BERT-large dimensions with a 512-token sliding
+    /// window plus global tokens.
+    pub fn longformer_large() -> Self {
+        ModelConfig {
+            name: "Longformer-large".into(),
+            layers: 24,
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            attention: AttentionKind::Longformer {
+                config: LongformerConfig::default(),
+            },
+        }
+    }
+
+    /// Extra preset: BERT-base (12 layers, `D_m` 768, 12 heads) — handy for
+    /// quick sweeps and for showing how model size interacts with the
+    /// softmax share.
+    pub fn bert_base() -> Self {
+        ModelConfig {
+            name: "BERT-base".into(),
+            layers: 12,
+            d_model: 768,
+            heads: 12,
+            d_ff: 3072,
+            attention: AttentionKind::Dense { causal: false },
+        }
+    }
+
+    /// Extra model (beyond the paper's four): Sparse Transformer \[7\] with
+    /// strided attention at BERT-large dimensions — the third published
+    /// sparse pattern the paper cites, useful for pattern ablations.
+    pub fn sparse_transformer() -> Self {
+        ModelConfig {
+            name: "SparseTransformer".into(),
+            layers: 24,
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            attention: AttentionKind::Strided {
+                block: 64,
+                local_blocks: 1,
+                stride_blocks: 8,
+            },
+        }
+    }
+
+    /// The paper's four evaluation models, in its reporting order.
+    pub fn all_eval_models() -> Vec<ModelConfig> {
+        vec![
+            Self::bert_large(),
+            Self::gpt_neo_1_3b(),
+            Self::bigbird_large(),
+            Self::longformer_large(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_dimensions() {
+        let bert = ModelConfig::bert_large();
+        assert_eq!(bert.layers, 24);
+        assert_eq!(bert.d_model, 1024);
+        assert_eq!(bert.heads, 16);
+        assert_eq!(bert.d_head(), 64);
+        assert_eq!(bert.d_ff, 4096);
+        assert!(!bert.attention.is_sparse());
+
+        let gpt = ModelConfig::gpt_neo_1_3b();
+        assert_eq!(gpt.d_model, 2048);
+        assert_eq!(gpt.d_head(), 128);
+        assert!(matches!(
+            gpt.attention,
+            AttentionKind::Dense { causal: true }
+        ));
+
+        assert!(ModelConfig::bigbird_large().attention.is_sparse());
+        assert!(ModelConfig::longformer_large().attention.is_sparse());
+        assert_eq!(ModelConfig::all_eval_models().len(), 4);
+    }
+
+    #[test]
+    fn layouts_materialize() {
+        let bb = ModelConfig::bigbird_large().attention.layout(4096);
+        assert!(bb.density() < 0.2);
+        let lf = ModelConfig::longformer_large().attention.layout(4096);
+        assert!(lf.density() < 0.4);
+        let dense = ModelConfig::bert_large().attention.layout(4096);
+        assert_eq!(dense.density(), 1.0);
+    }
+
+    #[test]
+    fn sparse_models_cheaper_than_dense_at_same_length() {
+        // paper §2.3: BigBird reduces attention computation to ~14.3% of BERT
+        let bb = ModelConfig::bigbird_large().attention.layout(4096);
+        assert!(
+            bb.density() > 0.08 && bb.density() < 0.2,
+            "{}",
+            bb.density()
+        );
+    }
+
+    #[test]
+    fn bert_base_preset() {
+        let b = ModelConfig::bert_base();
+        assert_eq!(b.d_head(), 64);
+        assert_eq!(b.layers, 12);
+        assert!(!b.attention.is_sparse());
+    }
+
+    #[test]
+    fn strided_preset() {
+        let st = ModelConfig::sparse_transformer();
+        assert!(st.attention.is_sparse());
+        let layout = st.attention.layout(4096);
+        // local window + every 8th column: density ≈ (3 + 64/8)/64
+        assert!(
+            layout.density() > 0.1 && layout.density() < 0.25,
+            "{}",
+            layout.density()
+        );
+        assert!(layout.is_set(10, 10) && layout.is_set(10, 8) && layout.is_set(10, 0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = ModelConfig::bigbird_large();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,329 @@
+//! Extension: autoregressive *decode* (one token at a time with a KV cache)
+//! — a scope boundary of the paper.
+//!
+//! The paper evaluates full-sequence inference, where the attention matrix
+//! is `L × L` and dwarfs the L2. In token-by-token generation the "attention
+//! matrix" is a single `1 × ctx` row per head (kilobytes): it lives in L2
+//! between kernels, so eliminating its off-chip traffic — the entire point
+//! of recomposition — has nothing to eliminate. Decode is bound by weight
+//! and KV-cache streaming instead. This module prices that regime so the
+//! boundary is measured, not asserted.
+
+use crate::config::{AttentionKind, ModelConfig};
+use crate::engine::RunReport;
+use crate::schedule::{RunParams, SoftmaxStrategy};
+use resoftmax_gpusim::{DeviceSpec, Gpu, KernelCategory, KernelDesc, LaunchError, TbShape, TbWork};
+use resoftmax_kernels::costs::{
+    buf, common, EXP_FLOP_EQUIV, FP16_BYTES, SOFTMAX_PHASE_EFFICIENCY, STREAM_EFFICIENCY,
+};
+
+/// Builds the kernel schedule for generating ONE token at context length
+/// `ctx` (KV cache already populated).
+///
+/// # Panics
+///
+/// Panics for non-dense models (decode with block-sparse caches is not
+/// modeled) and for the online-fused strategy.
+pub fn build_decode_schedule(
+    model: &ModelConfig,
+    ctx: usize,
+    params: &RunParams,
+) -> Vec<KernelDesc> {
+    assert!(
+        matches!(model.attention, AttentionKind::Dense { .. }),
+        "decode cost model covers dense attention only"
+    );
+    assert!(
+        params.strategy != SoftmaxStrategy::OnlineFused,
+        "decode attention is a single row; online fusion is the GEMV itself"
+    );
+    let recomposed = params.strategy == SoftmaxStrategy::Recomposed;
+    let batch = params.batch;
+    let d_model = model.d_model;
+    let heads = model.heads;
+    let d_head = model.d_head();
+    let inst = (heads * batch) as u64;
+    let mut kernels = Vec::new();
+
+    for layer in 0..model.layers {
+        let prefix = format!("l{layer}");
+        // QKV + output projections: 1-row GEMVs, weight-streaming bound.
+        for out in ["q", "k", "v"] {
+            kernels.push(common::fc(
+                batch,
+                d_model,
+                d_model,
+                KernelCategory::Fc,
+                &prefix,
+                "x",
+                out,
+                true,
+            ));
+        }
+
+        // q·Kᵀ over the KV cache: one GEMV per instance, streaming the K
+        // cache (ctx × d_head per instance). With recomposition the LS
+        // epilogue rides along (scale + exp + local max), fused as in Fig. 6.
+        let k_cache = (ctx * d_head * FP16_BYTES) as f64;
+        let score_row = (ctx * FP16_BYTES) as f64;
+        let qk = KernelDesc::builder(
+            format!(
+                "decode_qk{}(ctx={ctx})",
+                if recomposed { "+ls" } else { "" }
+            ),
+            KernelCategory::MatMulQk,
+        )
+        .shape(TbShape::new(256, 16 * 1024, 64))
+        .uniform(
+            inst,
+            TbWork {
+                cuda_flops: 2.0 * (ctx * d_head) as f64
+                    + if recomposed {
+                        (EXP_FLOP_EQUIV + 6.0) * ctx as f64
+                    } else {
+                        2.0 * ctx as f64
+                    },
+                tensor_flops: 0.0,
+                dram_read_bytes: k_cache,
+                dram_write_bytes: score_row,
+                mem_active_fraction: 1.0,
+                efficiency: STREAM_EFFICIENCY,
+            },
+        )
+        .reads(buf(&prefix, "k_cache"), (k_cache as u64) * inst)
+        .writes(
+            buf(&prefix, if recomposed { "x_prime" } else { "scores" }),
+            (score_row as u64) * inst,
+        )
+        .build();
+        let qk = if recomposed {
+            // the fused epilogue also emits the per-sub-vector m'/d'
+            let n_sv = ctx.div_ceil(params.tile.n) as u64;
+            let mut b = KernelDesc::builder(qk.name.clone(), qk.category);
+            b.shape(qk.shape);
+            if let resoftmax_gpusim::TbSet::Uniform { count, work } = qk.tbs {
+                b.uniform(count, work);
+            }
+            for r in &qk.reads {
+                b.reads(r.id.clone(), r.bytes);
+            }
+            for w in &qk.writes {
+                b.writes(w.id.clone(), w.bytes);
+            }
+            b.writes(buf(&prefix, "m_prime"), n_sv * 2 * inst)
+                .writes(buf(&prefix, "d_prime"), n_sv * 2 * inst);
+            b.build()
+        } else {
+            qk
+        };
+        kernels.push(qk);
+
+        if recomposed {
+            // IR over the row's sub-vectors: trivially small.
+            let n_sv = ctx.div_ceil(params.tile.n);
+            kernels.push(
+                KernelDesc::builder(
+                    format!("decode_ir(ctx={ctx})"),
+                    KernelCategory::InterReduction,
+                )
+                .shape(TbShape::new(128, 4096, 32))
+                .uniform(
+                    inst.div_ceil(64),
+                    TbWork {
+                        cuda_flops: 64.0 * n_sv as f64 * (EXP_FLOP_EQUIV + 4.0),
+                        dram_read_bytes: 64.0 * (2 * n_sv * FP16_BYTES) as f64,
+                        dram_write_bytes: 64.0 * (n_sv * FP16_BYTES) as f64,
+                        ..Default::default()
+                    },
+                )
+                .reads(buf(&prefix, "m_prime"), (n_sv * FP16_BYTES) as u64 * inst)
+                .reads(buf(&prefix, "d_prime"), (n_sv * FP16_BYTES) as u64 * inst)
+                .writes(buf(&prefix, "r_prime"), (n_sv * FP16_BYTES) as u64 * inst)
+                .build(),
+            );
+        } else {
+            // Monolithic softmax over ONE row per instance: only
+            // `heads × batch` thread blocks exist — a parallelism desert.
+            kernels.push(
+                KernelDesc::builder(
+                    format!("decode_softmax(ctx={ctx})"),
+                    KernelCategory::Softmax,
+                )
+                .shape(TbShape::new(
+                    (ctx / 4).clamp(32, 1024) as u32,
+                    (ctx * FP16_BYTES) as u32,
+                    40,
+                ))
+                .uniform(
+                    inst,
+                    TbWork {
+                        cuda_flops: (EXP_FLOP_EQUIV + 4.0) * ctx as f64,
+                        dram_read_bytes: score_row,
+                        dram_write_bytes: score_row,
+                        mem_active_fraction: 1.0,
+                        efficiency: SOFTMAX_PHASE_EFFICIENCY,
+                        ..Default::default()
+                    },
+                )
+                .reads(buf(&prefix, "scores"), (score_row as u64) * inst)
+                .writes(buf(&prefix, "probs"), (score_row as u64) * inst)
+                .build(),
+            );
+        }
+
+        // P·V over the V cache (GS prologue when recomposed).
+        let v_cache = (ctx * d_head * FP16_BYTES) as f64;
+        kernels.push(
+            KernelDesc::builder(
+                format!(
+                    "decode_pv{}(ctx={ctx})",
+                    if recomposed { "+gs" } else { "" }
+                ),
+                KernelCategory::MatMulPv,
+            )
+            .shape(TbShape::new(256, 16 * 1024, 64))
+            .uniform(
+                inst,
+                TbWork {
+                    cuda_flops: 2.0 * (ctx * d_head) as f64
+                        + if recomposed { ctx as f64 } else { 0.0 },
+                    dram_read_bytes: v_cache + score_row,
+                    dram_write_bytes: (d_head * FP16_BYTES) as f64,
+                    mem_active_fraction: 1.0,
+                    efficiency: STREAM_EFFICIENCY,
+                    ..Default::default()
+                },
+            )
+            .reads(buf(&prefix, "v_cache"), (v_cache as u64) * inst)
+            .reads(
+                buf(&prefix, if recomposed { "x_prime" } else { "probs" }),
+                (score_row as u64) * inst,
+            )
+            .writes(
+                buf(&prefix, "attn_out"),
+                (d_head * FP16_BYTES) as u64 * inst,
+            )
+            .build(),
+        );
+
+        // Output projection + FF, all 1-row weight-bound GEMVs.
+        kernels.push(common::fc(
+            batch,
+            d_model,
+            d_model,
+            KernelCategory::Fc,
+            &prefix,
+            "attn_out",
+            "proj",
+            true,
+        ));
+        kernels.push(common::layernorm(batch, d_model, &prefix, "proj", "ln1"));
+        kernels.push(common::fc(
+            batch,
+            d_model,
+            model.d_ff,
+            KernelCategory::FeedForward,
+            &prefix,
+            "ln1",
+            "ff1",
+            true,
+        ));
+        kernels.push(common::fc(
+            batch,
+            model.d_ff,
+            d_model,
+            KernelCategory::FeedForward,
+            &prefix,
+            "ff1",
+            "ff2",
+            false,
+        ));
+        kernels.push(common::layernorm(
+            batch,
+            d_model,
+            "",
+            &format!("{prefix}.ff2"),
+            &format!("l{}.x", layer + 1),
+        ));
+    }
+    kernels
+}
+
+/// Simulates generating one token at context length `ctx`.
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] if a kernel cannot launch.
+///
+/// # Panics
+///
+/// Panics for non-dense models or the online-fused strategy.
+pub fn run_decode_step(
+    model: &ModelConfig,
+    ctx: usize,
+    params: &RunParams,
+    device: DeviceSpec,
+) -> Result<RunReport, LaunchError> {
+    let schedule = build_decode_schedule(model, ctx, params);
+    let device_name = device.name.clone();
+    let mut gpu = Gpu::new(device);
+    gpu.run(&schedule)?;
+    Ok(RunReport {
+        model: model.name.clone(),
+        device: device_name,
+        params: params.clone(),
+        timeline: gpu.into_timeline(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_runs_and_is_fast() {
+        let m = ModelConfig::gpt_neo_1_3b();
+        let r = run_decode_step(&m, 4096, &RunParams::new(4096), DeviceSpec::a100()).unwrap();
+        // single token: tens of ms at worst (GEMV parallelism desert), far
+        // from the ~140ms of full-sequence inference
+        assert!(r.total_time_s() < 0.04, "{}", r.total_time_s());
+        assert!(r.total_time_s() > 1e-4);
+    }
+
+    #[test]
+    fn recomposition_is_neutral_in_decode() {
+        // The paper's win vanishes when the attention matrix is one row:
+        // speedup within a few percent of 1.0.
+        let m = ModelConfig::gpt_neo_1_3b();
+        let base = run_decode_step(&m, 4096, &RunParams::new(4096), DeviceSpec::a100()).unwrap();
+        let sdf = run_decode_step(
+            &m,
+            4096,
+            &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let speedup = base.total_time_s() / sdf.total_time_s();
+        assert!(
+            (0.95..1.10).contains(&speedup),
+            "decode speedup {speedup} should be ~1"
+        );
+    }
+
+    #[test]
+    fn decode_softmax_fraction_is_tiny() {
+        let m = ModelConfig::gpt_neo_1_3b();
+        let r = run_decode_step(&m, 4096, &RunParams::new(4096), DeviceSpec::a100()).unwrap();
+        assert!(
+            r.softmax_time_fraction() < 0.1,
+            "decode softmax frac {}",
+            r.softmax_time_fraction()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dense attention only")]
+    fn sparse_decode_rejected() {
+        let _ = build_decode_schedule(&ModelConfig::bigbird_large(), 4096, &RunParams::new(4096));
+    }
+}

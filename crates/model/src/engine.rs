@@ -1,0 +1,256 @@
+//! The inference engine: builds a schedule, executes it on a simulated GPU,
+//! and packages the results for the reporting layer.
+
+use crate::config::ModelConfig;
+use crate::schedule::{build_schedule, RunParams};
+use resoftmax_gpusim::{Breakdown, DeviceSpec, Gpu, KernelCategory, LaunchError, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// The result of simulating one inference iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Model name.
+    pub model: String,
+    /// Device name.
+    pub device: String,
+    /// Run parameters used.
+    pub params: RunParams,
+    /// Per-kernel execution record.
+    pub timeline: Timeline,
+}
+
+impl RunReport {
+    /// Total simulated latency in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.timeline.total_time_s()
+    }
+
+    /// Total off-chip traffic in bytes.
+    pub fn total_dram_bytes(&self) -> f64 {
+        self.timeline.total_dram_bytes()
+    }
+
+    /// Total off-chip access energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.timeline.total_energy_j()
+    }
+
+    /// Per-category aggregation (Fig. 2 / Fig. 5 / Fig. 8 style).
+    pub fn breakdown(&self) -> Breakdown {
+        self.timeline.breakdown()
+    }
+
+    /// Fraction of total time spent in the softmax family
+    /// (monolithic + LS + IR + GS).
+    pub fn softmax_time_fraction(&self) -> f64 {
+        let b = self.breakdown();
+        let total = b.total_time_s();
+        if total > 0.0 {
+            b.softmax_time_s() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of total time spent in the SDA block.
+    pub fn sda_time_fraction(&self) -> f64 {
+        let b = self.breakdown();
+        let total = b.total_time_s();
+        if total > 0.0 {
+            b.sda_time_s() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Time spent in a specific category.
+    pub fn time_of(&self, category: KernelCategory) -> f64 {
+        self.breakdown().time_of(category)
+    }
+}
+
+/// Simulates one inference iteration of `model` on `device`.
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] if any kernel's thread block exceeds the device's
+/// SM resources (e.g. a monolithic softmax whose worst-case row no longer
+/// fits in shared memory).
+///
+/// # Example
+///
+/// ```
+/// use resoftmax_model::{run_inference, ModelConfig, RunParams};
+/// use resoftmax_gpusim::DeviceSpec;
+///
+/// let report = run_inference(
+///     &ModelConfig::bert_large(),
+///     &RunParams::new(512),
+///     DeviceSpec::a100(),
+/// )?;
+/// assert!(report.total_time_s() > 0.0);
+/// # Ok::<(), resoftmax_gpusim::LaunchError>(())
+/// ```
+pub fn run_inference(
+    model: &ModelConfig,
+    params: &RunParams,
+    device: DeviceSpec,
+) -> Result<RunReport, LaunchError> {
+    let schedule = build_schedule(model, params);
+    let device_name = device.name.clone();
+    let mut gpu = Gpu::new(device);
+    gpu.run(&schedule)?;
+    Ok(RunReport {
+        model: model.name.clone(),
+        device: device_name,
+        params: params.clone(),
+        timeline: gpu.into_timeline(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::SoftmaxStrategy;
+
+    #[test]
+    fn bert_baseline_runs() {
+        let r = run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        assert!(r.total_time_s() > 0.0);
+        assert!(r.total_dram_bytes() > 0.0);
+        assert!(r.total_energy_j() > 0.0);
+        assert!(!r.timeline.is_empty());
+    }
+
+    #[test]
+    fn fig2_shape_softmax_fraction_bert() {
+        // Paper Fig. 2: at L=4096 on A100, softmax ≈ 36% of BERT's time and
+        // the SDA block ≈ 68%.
+        let r = run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let sf = r.softmax_time_fraction();
+        assert!(
+            (0.25..0.45).contains(&sf),
+            "BERT softmax fraction {sf} (paper: 0.36)"
+        );
+        let sda = r.sda_time_fraction();
+        assert!(
+            (0.55..0.8).contains(&sda),
+            "BERT SDA fraction {sda} (paper: 0.68)"
+        );
+    }
+
+    #[test]
+    fn fig2_shape_softmax_fraction_gpt_neo() {
+        // Paper: GPT-Neo softmax ≈ 18% (bigger FC/FF share at d_model 2048).
+        let r = run_inference(
+            &ModelConfig::gpt_neo_1_3b(),
+            &RunParams::new(4096),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let sf = r.softmax_time_fraction();
+        assert!(
+            (0.10..0.30).contains(&sf),
+            "GPT-Neo softmax fraction {sf} (paper: 0.18)"
+        );
+    }
+
+    #[test]
+    fn sdf_beats_baseline_on_bert() {
+        let base = run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let sdf = run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let speedup = base.total_time_s() / sdf.total_time_s();
+        assert!(
+            (1.1..1.5).contains(&speedup),
+            "BERT SDF speedup {speedup} (paper: 1.25)"
+        );
+    }
+
+    #[test]
+    fn sd_alone_hurts_dense() {
+        // Paper §5.1: SD alone is 0.94× on BERT (slower).
+        let base = run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let sd = run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096).strategy(SoftmaxStrategy::Decomposed),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        assert!(
+            sd.total_time_s() > base.total_time_s(),
+            "SD must be slower on dense: {} vs {}",
+            sd.total_time_s(),
+            base.total_time_s()
+        );
+    }
+
+    #[test]
+    fn sd_alone_helps_sparse() {
+        // Paper §5.1: SD alone is 1.44×/1.49× on BigBird/Longformer.
+        let base = run_inference(
+            &ModelConfig::bigbird_large(),
+            &RunParams::new(4096),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let sd = run_inference(
+            &ModelConfig::bigbird_large(),
+            &RunParams::new(4096).strategy(SoftmaxStrategy::Decomposed),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let speedup = base.total_time_s() / sd.total_time_s();
+        assert!(
+            speedup > 1.15,
+            "SD must speed sparse up: {speedup} (paper: 1.44)"
+        );
+    }
+
+    #[test]
+    fn sdf_reduces_traffic() {
+        let base = run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let sdf = run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        assert!(
+            sdf.total_dram_bytes() < 0.75 * base.total_dram_bytes(),
+            "SDF traffic {} vs baseline {}",
+            sdf.total_dram_bytes(),
+            base.total_dram_bytes()
+        );
+        assert!(sdf.total_energy_j() < base.total_energy_j());
+    }
+}

@@ -1,0 +1,50 @@
+//! Transformer model definitions and the simulated inference engine.
+//!
+//! Ties the substrates together: model configurations at the paper's
+//! published dimensions ([`ModelConfig`]), library schedule profiles
+//! ([`LibraryProfile`], Fig. 7), the kernel-schedule builder implementing the
+//! Baseline / SD / SDF configurations ([`build_schedule`], Fig. 6), the
+//! engine that executes a schedule on the GPU simulator ([`run_inference`]),
+//! and the synthetic long-document workload ([`Workload`], the TriviaQA
+//! substitute).
+//!
+//! # Example
+//!
+//! ```
+//! use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+//! use resoftmax_gpusim::DeviceSpec;
+//!
+//! let base = run_inference(
+//!     &ModelConfig::bigbird_large(),
+//!     &RunParams::new(1024),
+//!     DeviceSpec::a100(),
+//! )?;
+//! let sdf = run_inference(
+//!     &ModelConfig::bigbird_large(),
+//!     &RunParams::new(1024).strategy(SoftmaxStrategy::Recomposed),
+//!     DeviceSpec::a100(),
+//! )?;
+//! assert!(sdf.total_time_s() < base.total_time_s());
+//! # Ok::<(), resoftmax_gpusim::LaunchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod decode;
+mod engine;
+mod library;
+mod schedule;
+mod seq2seq;
+mod training;
+mod workload;
+
+pub use config::{AttentionKind, ModelConfig};
+pub use decode::{build_decode_schedule, run_decode_step};
+pub use engine::{run_inference, RunReport};
+pub use library::{LibraryProfile, SparseSupport};
+pub use schedule::{build_schedule, RunParams, SoftmaxStrategy};
+pub use seq2seq::{build_seq2seq_schedule, run_seq2seq, Seq2SeqConfig};
+pub use training::{build_training_schedule, run_training_iteration};
+pub use workload::{Document, Workload, WorkloadConfig};

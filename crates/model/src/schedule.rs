@@ -1,0 +1,571 @@
+//! The schedule builder: model config + run parameters → kernel sequence.
+//!
+//! This is where the paper's three configurations diverge (Fig. 6):
+//!
+//! * **Baseline** — `Q·Kᵀ`(+scale+mask) → monolithic softmax → `P·V`.
+//! * **Decomposed (SD)** — `Q·Kᵀ`(+scale+mask) → LS → IR → GS → `P·V`.
+//! * **Recomposed (SDF)** — `Q·Kᵀ`(+scale+mask+LS) → IR → GS+`P·V`.
+//!
+//! Library profiles further vary which elementwise layers run standalone and
+//! whether sparse models use block-sparse kernels, a dense fallback, or a
+//! gather-based implementation (Fig. 7).
+
+use crate::config::ModelConfig;
+use crate::library::{LibraryProfile, SparseSupport};
+use resoftmax_gpusim::{KernelCategory, KernelDesc, TbSet};
+use resoftmax_kernels::costs::{common, dense, sparse, AttnDims, TileConfig};
+use serde::{Deserialize, Serialize};
+
+/// The paper's softmax configurations (§5.1), plus the online-softmax
+/// extension (§7 pointer, later known as FlashAttention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SoftmaxStrategy {
+    /// Monolithic softmax (state-of-the-art library baseline).
+    Baseline,
+    /// Softmax decomposition only (SD): LS / IR / GS as standalone kernels.
+    Decomposed,
+    /// Softmax decomposition + fusion (SDF): the paper's contribution.
+    Recomposed,
+    /// Extension: fully fused online-softmax attention — one kernel per SDA
+    /// block, no attention matrix in DRAM at all (`resoftmax_kernels::online`).
+    OnlineFused,
+}
+
+impl SoftmaxStrategy {
+    /// The paper's three configurations, in its reporting order.
+    pub fn all() -> [SoftmaxStrategy; 3] {
+        [
+            SoftmaxStrategy::Baseline,
+            SoftmaxStrategy::Decomposed,
+            SoftmaxStrategy::Recomposed,
+        ]
+    }
+
+    /// Short label used in reports ("Baseline" / "SD" / "SDF" / "Online").
+    pub fn label(self) -> &'static str {
+        match self {
+            SoftmaxStrategy::Baseline => "Baseline",
+            SoftmaxStrategy::Decomposed => "SD",
+            SoftmaxStrategy::Recomposed => "SDF",
+            SoftmaxStrategy::OnlineFused => "Online",
+        }
+    }
+}
+
+/// Parameters of one inference run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunParams {
+    /// Sequence length `L`.
+    pub seq_len: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Softmax configuration.
+    pub strategy: SoftmaxStrategy,
+    /// Library schedule profile.
+    pub profile: LibraryProfile,
+    /// MatMul tile (its width is the LS sub-vector length `T`).
+    pub tile: TileConfig,
+}
+
+impl RunParams {
+    /// Baseline run at the paper's default setup (batch 1, 64-wide tiles,
+    /// the paper's own baseline library profile).
+    pub fn new(seq_len: usize) -> Self {
+        RunParams {
+            seq_len,
+            batch: 1,
+            strategy: SoftmaxStrategy::Baseline,
+            profile: LibraryProfile::ours_baseline(),
+            tile: TileConfig::default(),
+        }
+    }
+
+    /// Sets the strategy (builder style).
+    pub fn strategy(mut self, strategy: SoftmaxStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the library profile.
+    pub fn profile(mut self, profile: LibraryProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the MatMul tile (tile width = the LS sub-vector length `T`).
+    pub fn tile(mut self, tile: TileConfig) -> Self {
+        self.tile = tile;
+        self
+    }
+}
+
+/// Multiplies every per-block work figure of a kernel by `factor`
+/// (implementation-efficiency modeling for library profiles).
+fn scale_work(desc: &mut KernelDesc, factor: f64) {
+    if factor == 1.0 {
+        return;
+    }
+    let scale_one = |w: &mut resoftmax_gpusim::TbWork| {
+        w.cuda_flops *= factor;
+        w.tensor_flops *= factor;
+        w.dram_read_bytes *= factor;
+        w.dram_write_bytes *= factor;
+    };
+    match &mut desc.tbs {
+        TbSet::Uniform { work, .. } => scale_one(work),
+        TbSet::PerTb(v) => v.iter_mut().for_each(scale_one),
+        TbSet::Grouped(v) => v.iter_mut().for_each(|g| scale_one(&mut g.work)),
+    }
+}
+
+/// Builds the complete kernel schedule of one inference iteration.
+///
+/// # Panics
+///
+/// Panics if `seq_len` is incompatible with the model's sparse block size or
+/// the tile width does not divide the sequence length.
+pub fn build_schedule(model: &ModelConfig, params: &RunParams) -> Vec<KernelDesc> {
+    let rows = params.seq_len * params.batch;
+    let d_model = model.d_model;
+    let profile = &params.profile;
+    let mut kernels = Vec::new();
+
+    // Embedding lookup feeding layer 0 (constant-cost glue, category etc.).
+    kernels.push(common::elementwise(
+        (rows * d_model) as u64,
+        1.0,
+        1,
+        KernelCategory::Other,
+        "embedding",
+        "",
+        &["tokens"],
+        "l0.x",
+    ));
+
+    for layer in 0..model.layers {
+        let prefix = format!("l{layer}");
+        let next_x = format!("l{}.x", layer + 1);
+        build_layer(model, params, &prefix, rows, &next_x, &mut kernels);
+    }
+
+    // Apply library efficiency overheads.
+    for k in &mut kernels {
+        let factor = match k.category {
+            c if c.is_softmax_family() => profile.softmax_overhead,
+            KernelCategory::MatMulQk
+            | KernelCategory::MatMulPv
+            | KernelCategory::Fc
+            | KernelCategory::FeedForward => profile.matmul_overhead,
+            _ => 1.0,
+        };
+        scale_work(k, factor);
+    }
+    kernels
+}
+
+fn build_layer(
+    model: &ModelConfig,
+    params: &RunParams,
+    prefix: &str,
+    rows: usize,
+    next_x: &str,
+    kernels: &mut Vec<KernelDesc>,
+) {
+    let d_model = model.d_model;
+    let profile = &params.profile;
+    let fused_elementwise = !profile.separate_elementwise;
+
+    // QKV projections.
+    for out in ["q", "k", "v"] {
+        kernels.push(common::fc(
+            rows,
+            d_model,
+            d_model,
+            KernelCategory::Fc,
+            prefix,
+            "x",
+            out,
+            fused_elementwise,
+        ));
+        if profile.separate_elementwise {
+            kernels.push(common::elementwise(
+                (rows * d_model) as u64,
+                1.0,
+                1,
+                KernelCategory::Other,
+                &format!("bias_{out}"),
+                prefix,
+                &[out],
+                out,
+            ));
+        }
+    }
+
+    // The SDA block.
+    build_attention(model, params, prefix, kernels);
+
+    // Output projection + residual + LayerNorm.
+    kernels.push(common::fc(
+        rows,
+        d_model,
+        d_model,
+        KernelCategory::Fc,
+        prefix,
+        "attn_out",
+        "proj",
+        fused_elementwise,
+    ));
+    if profile.separate_elementwise {
+        kernels.push(common::elementwise(
+            (rows * d_model) as u64,
+            1.0,
+            2,
+            KernelCategory::Other,
+            "residual1",
+            prefix,
+            &["proj", "x"],
+            "proj",
+        ));
+    }
+    kernels.push(common::layernorm(rows, d_model, prefix, "proj", "ln1"));
+
+    // FeedForward block.
+    kernels.push(common::fc(
+        rows,
+        d_model,
+        model.d_ff,
+        KernelCategory::FeedForward,
+        prefix,
+        "ln1",
+        "ff1",
+        fused_elementwise,
+    ));
+    if profile.separate_elementwise {
+        kernels.push(common::elementwise(
+            (rows * model.d_ff) as u64,
+            17.0, // bias + GeLU at SFU cost
+            1,
+            KernelCategory::Activation,
+            "gelu",
+            prefix,
+            &["ff1"],
+            "ff1",
+        ));
+    }
+    kernels.push(common::fc(
+        rows,
+        model.d_ff,
+        d_model,
+        KernelCategory::FeedForward,
+        prefix,
+        "ff1",
+        "ff2",
+        false,
+    ));
+    if profile.separate_elementwise {
+        kernels.push(common::elementwise(
+            (rows * d_model) as u64,
+            1.0,
+            2,
+            KernelCategory::Other,
+            "residual2",
+            prefix,
+            &["ff2", "ln1"],
+            "ff2",
+        ));
+    }
+    // Final LayerNorm hands the activation to the next layer.
+    kernels.push(common::layernorm(
+        rows,
+        d_model,
+        "",
+        &format!("{prefix}.ff2"),
+        next_x,
+    ));
+}
+
+fn build_attention(
+    model: &ModelConfig,
+    params: &RunParams,
+    prefix: &str,
+    kernels: &mut Vec<KernelDesc>,
+) {
+    let dims = AttnDims::new(params.seq_len, model.d_head(), model.heads, params.batch);
+    let profile = &params.profile;
+    let t = params.tile.n;
+
+    let use_sparse = model.attention.is_sparse()
+        && !matches!(profile.sparse_support, SparseSupport::DenseFallback);
+
+    if use_sparse {
+        let layout = model.attention.layout(params.seq_len);
+        // Gather-based implementations move the data an extra time around
+        // every attention kernel.
+        let gather_penalty = match profile.sparse_support {
+            SparseSupport::GatherBased => 2.0,
+            _ => 1.0,
+        };
+        let start = kernels.len();
+        match params.strategy {
+            SoftmaxStrategy::OnlineFused => {
+                kernels.push(sparse::bs_fused_mha_online(&layout, &dims, prefix));
+            }
+            SoftmaxStrategy::Baseline => {
+                kernels.push(sparse::bs_matmul_qk(
+                    &layout,
+                    &dims,
+                    prefix,
+                    sparse::BsQkEpilogue::ScaleMask,
+                ));
+                kernels.push(sparse::bs_softmax_baseline(&layout, &dims, prefix));
+                kernels.push(sparse::bs_matmul_pv(
+                    &layout,
+                    &dims,
+                    prefix,
+                    sparse::BsPvPrologue::None,
+                ));
+            }
+            SoftmaxStrategy::Decomposed => {
+                kernels.push(sparse::bs_matmul_qk(
+                    &layout,
+                    &dims,
+                    prefix,
+                    sparse::BsQkEpilogue::ScaleMask,
+                ));
+                kernels.push(sparse::bs_local_softmax(&layout, &dims, prefix));
+                kernels.push(sparse::bs_inter_reduction(&layout, &dims, prefix));
+                kernels.push(sparse::bs_global_scaling(&layout, &dims, prefix));
+                kernels.push(sparse::bs_matmul_pv(
+                    &layout,
+                    &dims,
+                    prefix,
+                    sparse::BsPvPrologue::None,
+                ));
+            }
+            SoftmaxStrategy::Recomposed => {
+                kernels.push(sparse::bs_matmul_qk(
+                    &layout,
+                    &dims,
+                    prefix,
+                    sparse::BsQkEpilogue::ScaleMaskLocalSoftmax,
+                ));
+                kernels.push(sparse::bs_inter_reduction(&layout, &dims, prefix));
+                kernels.push(sparse::bs_matmul_pv(
+                    &layout,
+                    &dims,
+                    prefix,
+                    sparse::BsPvPrologue::GlobalScaling,
+                ));
+            }
+        }
+        for k in &mut kernels[start..] {
+            scale_work(k, gather_penalty);
+        }
+        return;
+    }
+
+    // Dense path (dense models, and sparse models under a dense fallback).
+    let tile = params.tile;
+    if params.strategy == SoftmaxStrategy::OnlineFused {
+        kernels.push(dense::fused_mha_online(&dims, tile, prefix));
+        return;
+    }
+    if profile.separate_scale_mask {
+        // HuggingFace-style: raw scores, then standalone scale and mask.
+        kernels.push(dense::matmul_qk(
+            &dims,
+            tile,
+            prefix,
+            dense::QkEpilogue::None,
+        ));
+        let elems = dims.attn_bytes() / 2;
+        kernels.push(common::elementwise(
+            elems,
+            1.0,
+            1,
+            KernelCategory::Scale,
+            "scale",
+            prefix,
+            &["scores"],
+            "scores",
+        ));
+        kernels.push(common::elementwise(
+            elems,
+            1.0,
+            2,
+            KernelCategory::Mask,
+            "mask",
+            prefix,
+            &["scores"],
+            "scores",
+        ));
+    } else {
+        kernels.push(dense::matmul_qk(
+            &dims,
+            tile,
+            prefix,
+            match params.strategy {
+                SoftmaxStrategy::Recomposed => dense::QkEpilogue::ScaleMaskLocalSoftmax,
+                _ => dense::QkEpilogue::ScaleMask,
+            },
+        ));
+    }
+
+    match params.strategy {
+        SoftmaxStrategy::OnlineFused => unreachable!("handled above"),
+        SoftmaxStrategy::Baseline => {
+            kernels.push(dense::softmax_monolithic(&dims, prefix, "scores"));
+            kernels.push(dense::matmul_pv(
+                &dims,
+                tile,
+                prefix,
+                dense::PvPrologue::None,
+            ));
+        }
+        SoftmaxStrategy::Decomposed => {
+            kernels.push(dense::local_softmax(&dims, t, prefix, "scores"));
+            kernels.push(dense::inter_reduction(&dims, t, prefix));
+            kernels.push(dense::global_scaling(&dims, t, prefix));
+            kernels.push(dense::matmul_pv(
+                &dims,
+                tile,
+                prefix,
+                dense::PvPrologue::None,
+            ));
+        }
+        SoftmaxStrategy::Recomposed => {
+            // With separate scale/mask the LS epilogue was not emitted above;
+            // run LS standalone in that degenerate combination.
+            if profile.separate_scale_mask {
+                kernels.push(dense::local_softmax(&dims, t, prefix, "scores"));
+            }
+            kernels.push(dense::inter_reduction(&dims, t, prefix));
+            kernels.push(dense::matmul_pv(
+                &dims,
+                tile,
+                prefix,
+                dense::PvPrologue::GlobalScaling,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bert() -> ModelConfig {
+        ModelConfig::bert_large()
+    }
+
+    #[test]
+    fn baseline_schedule_shape() {
+        let ks = build_schedule(&bert(), &RunParams::new(4096));
+        // 1 embedding + 24 × (3 fc + 3 attn + 1 fc + ln + 2 ff + ln) = 1 + 24·11
+        assert_eq!(ks.len(), 1 + 24 * 11);
+        assert!(ks.iter().any(|k| k.category == KernelCategory::Softmax));
+        assert!(!ks
+            .iter()
+            .any(|k| k.category == KernelCategory::LocalSoftmax));
+    }
+
+    #[test]
+    fn recomposed_removes_standalone_softmax() {
+        let ks = build_schedule(
+            &bert(),
+            &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
+        );
+        assert!(!ks.iter().any(|k| k.category == KernelCategory::Softmax));
+        assert!(ks
+            .iter()
+            .any(|k| k.category == KernelCategory::InterReduction));
+        // 11 - softmax + ir = still 11 per layer
+        assert_eq!(ks.len(), 1 + 24 * 11);
+        // LS is fused: the QK kernel writes x'
+        let qk = ks
+            .iter()
+            .find(|k| k.category == KernelCategory::MatMulQk)
+            .unwrap();
+        assert!(qk.writes.iter().any(|b| b.id.ends_with("x_prime")));
+    }
+
+    #[test]
+    fn decomposed_adds_three_kernels() {
+        let base = build_schedule(&bert(), &RunParams::new(4096));
+        let sd = build_schedule(
+            &bert(),
+            &RunParams::new(4096).strategy(SoftmaxStrategy::Decomposed),
+        );
+        assert_eq!(sd.len(), base.len() + 24 * 2); // softmax -> ls+ir+gs
+    }
+
+    #[test]
+    fn sparse_model_uses_block_sparse_kernels() {
+        let ks = build_schedule(&ModelConfig::bigbird_large(), &RunParams::new(4096));
+        let qk = ks
+            .iter()
+            .find(|k| k.category == KernelCategory::MatMulQk)
+            .unwrap();
+        assert!(qk.name.starts_with("bs_"), "{}", qk.name);
+    }
+
+    #[test]
+    fn dense_fallback_ignores_sparsity() {
+        let params = RunParams::new(4096).profile(LibraryProfile::tensorrt());
+        let ks = build_schedule(&ModelConfig::bigbird_large(), &params);
+        let qk = ks
+            .iter()
+            .find(|k| k.category == KernelCategory::MatMulQk)
+            .unwrap();
+        assert!(!qk.name.starts_with("bs_"), "{}", qk.name);
+    }
+
+    #[test]
+    fn huggingface_profile_adds_elementwise_kernels() {
+        let hg = build_schedule(
+            &bert(),
+            &RunParams::new(4096).profile(LibraryProfile::huggingface()),
+        );
+        let ours = build_schedule(&bert(), &RunParams::new(4096));
+        assert!(hg.len() > ours.len());
+        assert!(hg.iter().any(|k| k.category == KernelCategory::Scale));
+        assert!(hg.iter().any(|k| k.category == KernelCategory::Mask));
+        assert!(hg.iter().any(|k| k.category == KernelCategory::Activation));
+    }
+
+    #[test]
+    fn overheads_scale_work() {
+        let ours = build_schedule(&bert(), &RunParams::new(4096));
+        let tvm = build_schedule(
+            &bert(),
+            &RunParams::new(4096).profile(LibraryProfile::autotvm()),
+        );
+        let flops = |ks: &[KernelDesc]| -> f64 { ks.iter().map(|k| k.total_flops()).sum() };
+        assert!(flops(&tvm) > 1.3 * flops(&ours));
+    }
+
+    #[test]
+    fn batch_scales_grid() {
+        let b1 = build_schedule(&bert(), &RunParams::new(4096));
+        let b8 = build_schedule(&bert(), &RunParams::new(4096).batch(8));
+        let tbs = |ks: &[KernelDesc]| -> u64 { ks.iter().map(|k| k.tbs.count()).sum() };
+        let r = tbs(&b8) as f64 / tbs(&b1) as f64;
+        assert!(r > 7.0 && r < 9.0, "batch-8 grid ratio {r}");
+    }
+
+    #[test]
+    fn buffer_chain_links_layers() {
+        let ks = build_schedule(&bert(), &RunParams::new(512));
+        // the embedding writes l0.x, layer 0's QKV FCs read it
+        assert!(ks[0].writes.iter().any(|b| b.id == "l0.x"));
+        assert!(ks[1].reads.iter().any(|b| b.id == "l0.x"));
+        // layer 0's last layernorm writes l1.x
+        assert!(ks.iter().any(|k| k.writes.iter().any(|b| b.id == "l1.x")));
+    }
+}

@@ -1,0 +1,315 @@
+//! Extension (§6): cost model of a full *training* iteration —
+//! forward pass + backward pass — under the baseline and recomposed
+//! strategies.
+//!
+//! The paper shows (Eq. 3) that recomposition stays legal in training; this
+//! module quantifies what it is worth there. The forward pass is the
+//! inference schedule; the backward pass adds, per layer: FC/FF data- and
+//! weight-gradient MatMuls, activation/LayerNorm backward, and the
+//! attention backward chain (`dV`, `dP`, Eq. 3, `dQ`, `dK`) in either its
+//! baseline form (standalone barrier-bound softmax-backward row kernel,
+//! stored `P`) or its recomposed form (partial row-dots in the `dP`
+//! epilogue + IR reduction + an *elementwise* `dS` kernel, stored
+//! `x'`/`r'` — the paper's access-pattern argument applied to backward).
+//!
+//! Block-sparse models train through the mirrored block-sparse backward
+//! kernels (`costs::sparse_training`); their baseline softmax-backward has
+//! the same §5.1 utilization pathology as the forward one, so recomposition
+//! gains even more in sparse training than dense.
+
+use crate::config::{AttentionKind, ModelConfig};
+use crate::engine::RunReport;
+use crate::schedule::{build_schedule, RunParams, SoftmaxStrategy};
+use resoftmax_gpusim::{DeviceSpec, Gpu, KernelCategory, KernelDesc, LaunchError};
+use resoftmax_kernels::costs::{common, sparse_training, training, AttnDims};
+
+/// Builds the kernel schedule of one training iteration (forward + backward),
+/// for dense and block-sparse models alike.
+///
+/// # Panics
+///
+/// Panics if the strategy is [`SoftmaxStrategy::OnlineFused`] (its backward
+/// would be a recompute-based FlashAttention backward, out of scope for the
+/// §6 extension).
+pub fn build_training_schedule(model: &ModelConfig, params: &RunParams) -> Vec<KernelDesc> {
+    assert!(
+        params.strategy != SoftmaxStrategy::OnlineFused,
+        "online-fused backward is out of scope"
+    );
+    let recomposed = params.strategy == SoftmaxStrategy::Recomposed;
+    let rows = params.seq_len * params.batch;
+    let d_model = model.d_model;
+    let dims = AttnDims::new(params.seq_len, model.d_head(), model.heads, params.batch);
+    let tile = params.tile;
+
+    // Forward pass (identical to inference; activations stay resident in the
+    // cost model via the same buffer ids the backward kernels reference).
+    let mut kernels = build_schedule(model, params);
+
+    // Backward pass, reverse layer order.
+    for layer in (0..model.layers).rev() {
+        let prefix = format!("l{layer}");
+
+        // LayerNorm-2 backward (reads dY + stats, writes dX; ~LN cost).
+        kernels.push(common::layernorm(rows, d_model, &prefix, "d_out", "d_ff2"));
+
+        // FF backward: dgrad + wgrad for both FCs, activation backward.
+        kernels.push(common::fc(
+            rows,
+            d_model,
+            model.d_ff,
+            KernelCategory::FeedForward,
+            &prefix,
+            "d_ff2",
+            "d_ff1",
+            false,
+        ));
+        kernels.push(common::fc(
+            model.d_ff,
+            rows,
+            d_model,
+            KernelCategory::FeedForward,
+            &prefix,
+            "ff1",
+            "w2_grad",
+            false,
+        ));
+        kernels.push(common::elementwise(
+            (rows * model.d_ff) as u64,
+            17.0,
+            2,
+            KernelCategory::Activation,
+            "gelu_bwd",
+            &prefix,
+            &["d_ff1", "ff1"],
+            "d_ff1",
+        ));
+        kernels.push(common::fc(
+            rows,
+            model.d_ff,
+            d_model,
+            KernelCategory::FeedForward,
+            &prefix,
+            "d_ff1",
+            "d_ln1",
+            false,
+        ));
+        kernels.push(common::fc(
+            d_model,
+            rows,
+            model.d_ff,
+            KernelCategory::FeedForward,
+            &prefix,
+            "ln1",
+            "w1_grad",
+            false,
+        ));
+
+        // LayerNorm-1 backward.
+        kernels.push(common::layernorm(rows, d_model, &prefix, "d_ln1", "d_proj"));
+
+        // Attention output projection backward: dgrad + wgrad.
+        kernels.push(common::fc(
+            rows,
+            d_model,
+            d_model,
+            KernelCategory::Fc,
+            &prefix,
+            "d_proj",
+            "d_attn_out",
+            false,
+        ));
+        kernels.push(common::fc(
+            d_model,
+            rows,
+            d_model,
+            KernelCategory::Fc,
+            &prefix,
+            "attn_out",
+            "wo_grad",
+            false,
+        ));
+
+        // The attention backward chain (the §6 heart).
+        if let AttentionKind::Dense { .. } = model.attention {
+            kernels.push(training::matmul_dv(&dims, tile, &prefix, recomposed));
+            kernels.push(training::matmul_dp(&dims, tile, &prefix, recomposed));
+            if recomposed {
+                kernels.push(training::rowdot_reduction(&dims, tile.n, &prefix));
+                kernels.push(training::ds_elementwise(&dims, tile.n, &prefix));
+            } else {
+                kernels.push(training::softmax_backward_monolithic(&dims, &prefix));
+            }
+            kernels.push(training::matmul_dq_or_dk(&dims, tile, &prefix, "d_q", "k"));
+            kernels.push(training::matmul_dq_or_dk(&dims, tile, &prefix, "d_k", "q"));
+        } else {
+            let layout = model.attention.layout(params.seq_len);
+            kernels.push(sparse_training::bs_matmul_dv(
+                &layout, &dims, &prefix, recomposed,
+            ));
+            kernels.push(sparse_training::bs_matmul_dp(
+                &layout, &dims, &prefix, recomposed,
+            ));
+            if recomposed {
+                kernels.push(sparse_training::bs_rowdot_reduction(
+                    &layout, &dims, &prefix,
+                ));
+                kernels.push(sparse_training::bs_ds_elementwise(&layout, &dims, &prefix));
+            } else {
+                kernels.push(sparse_training::bs_softmax_backward(
+                    &layout, &dims, &prefix,
+                ));
+            }
+            kernels.push(sparse_training::bs_matmul_dq_or_dk(
+                &layout, &dims, &prefix, "d_q",
+            ));
+            kernels.push(sparse_training::bs_matmul_dq_or_dk(
+                &layout, &dims, &prefix, "d_k",
+            ));
+        }
+
+        // QKV projection backward: 3 × (dgrad + wgrad).
+        for g in ["d_q", "d_k", "d_v"] {
+            kernels.push(common::fc(
+                rows,
+                d_model,
+                d_model,
+                KernelCategory::Fc,
+                &prefix,
+                g,
+                "d_x_partial",
+                false,
+            ));
+            kernels.push(common::fc(
+                d_model,
+                rows,
+                d_model,
+                KernelCategory::Fc,
+                &prefix,
+                "x",
+                &format!("w_{g}_grad"),
+                false,
+            ));
+        }
+    }
+    kernels
+}
+
+/// Simulates one training iteration.
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] if any kernel cannot launch.
+///
+/// # Panics
+///
+/// Panics for sparse models or the online-fused strategy (see
+/// [`build_training_schedule`]).
+pub fn run_training_iteration(
+    model: &ModelConfig,
+    params: &RunParams,
+    device: DeviceSpec,
+) -> Result<RunReport, LaunchError> {
+    let schedule = build_training_schedule(model, params);
+    let device_name = device.name.clone();
+    let mut gpu = Gpu::new(device);
+    gpu.run(&schedule)?;
+    Ok(RunReport {
+        model: model.name.clone(),
+        device: device_name,
+        params: params.clone(),
+        timeline: gpu.into_timeline(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_schedule_is_superset_of_inference() {
+        let m = ModelConfig::bert_large();
+        let p = RunParams::new(4096);
+        let fwd = build_schedule(&m, &p);
+        let train = build_training_schedule(&m, &p);
+        assert!(train.len() > fwd.len() * 2 - m.layers * 5);
+        // forward prefix is identical
+        assert_eq!(&train[..fwd.len()], &fwd[..]);
+    }
+
+    #[test]
+    fn recomposition_speeds_up_training() {
+        let m = ModelConfig::bert_large();
+        let base = run_training_iteration(&m, &RunParams::new(4096), DeviceSpec::a100()).unwrap();
+        let sdf = run_training_iteration(
+            &m,
+            &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
+            DeviceSpec::a100(),
+        )
+        .unwrap();
+        let speedup = base.total_time_s() / sdf.total_time_s();
+        assert!(
+            speedup > 1.1,
+            "training speedup {speedup} should be substantial"
+        );
+        assert!(sdf.total_dram_bytes() < base.total_dram_bytes());
+    }
+
+    #[test]
+    fn backward_roughly_doubles_cost() {
+        let m = ModelConfig::bert_large();
+        let p = RunParams::new(4096);
+        let fwd = crate::engine::run_inference(&m, &p, DeviceSpec::a100()).unwrap();
+        let train = run_training_iteration(&m, &p, DeviceSpec::a100()).unwrap();
+        let ratio = train.total_time_s() / fwd.total_time_s();
+        assert!((1.8..3.5).contains(&ratio), "train/inference ratio {ratio}");
+    }
+
+    #[test]
+    fn sparse_training_gains_exceed_dense() {
+        let dense = {
+            let base = run_training_iteration(
+                &ModelConfig::bert_large(),
+                &RunParams::new(4096),
+                DeviceSpec::a100(),
+            )
+            .unwrap();
+            let sdf = run_training_iteration(
+                &ModelConfig::bert_large(),
+                &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
+                DeviceSpec::a100(),
+            )
+            .unwrap();
+            base.total_time_s() / sdf.total_time_s()
+        };
+        let sparse = {
+            let base = run_training_iteration(
+                &ModelConfig::bigbird_large(),
+                &RunParams::new(4096),
+                DeviceSpec::a100(),
+            )
+            .unwrap();
+            let sdf = run_training_iteration(
+                &ModelConfig::bigbird_large(),
+                &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
+                DeviceSpec::a100(),
+            )
+            .unwrap();
+            base.total_time_s() / sdf.total_time_s()
+        };
+        assert!(sparse > 1.1, "sparse training speedup {sparse}");
+        assert!(
+            sparse > dense,
+            "sparse training ({sparse}) should gain more than dense ({dense})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of scope")]
+    fn online_fused_rejected() {
+        let _ = build_training_schedule(
+            &ModelConfig::bert_large(),
+            &RunParams::new(4096).strategy(SoftmaxStrategy::OnlineFused),
+        );
+    }
+}

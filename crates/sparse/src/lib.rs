@@ -1,0 +1,41 @@
+//! Block-sparse attention: layouts, published patterns, statistics, and
+//! numeric block-sparse operations.
+//!
+//! The paper evaluates softmax recomposition on the sparse-attention models
+//! BigBird and Longformer, on top of a DeepSpeed/Triton-style *block-sparse*
+//! representation (§3.4): sparsity at the granularity of square blocks so each
+//! retained block stays dense and tensor-core friendly. This crate provides
+//! that substrate:
+//!
+//! * [`BlockLayout`] — which blocks of the `L × L` attention matrix exist,
+//!   with CSR-style accessors.
+//! * [`pattern`] — generators for BigBird, Longformer, Sparse-Transformer
+//!   (strided), sliding-window and global patterns.
+//! * [`PatternStats`] — density and per-row imbalance, the two quantities
+//!   driving sparse-kernel performance in the paper (§5.1–5.2).
+//! * [`BlockSparseMatrix`] with [`sddmm`] / [`block_sparse_softmax`] /
+//!   [`spmm`] — numerically exact block-sparse attention, validated against
+//!   the masked dense reference.
+//!
+//! # Example
+//!
+//! ```
+//! use resoftmax_sparse::{pattern, PatternStats};
+//!
+//! let layout = pattern::bigbird(4096, &pattern::BigBirdConfig::default());
+//! let stats = PatternStats::of(&layout);
+//! assert!(stats.density < 0.2, "BigBird keeps ~1/8 of blocks at L=4096");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layout;
+mod ops;
+pub mod pattern;
+mod stats;
+
+pub use layout::{BlockLayout, LayoutError};
+pub use ops::{block_sparse_softmax, sddmm, spmm, BlockSparseMatrix};
+pub use pattern::{BigBirdConfig, LongformerConfig};
+pub use stats::PatternStats;

@@ -1,0 +1,127 @@
+//! Pattern statistics: the quantities that drive sparse-kernel performance.
+//!
+//! The paper's sparse-attention findings hinge on two properties of the
+//! pattern, both computed here: overall density (how much work/traffic
+//! remains) and the per-row nonzero distribution (load imbalance across
+//! thread blocks, §5.2).
+
+use crate::layout::BlockLayout;
+
+/// Summary statistics of a block-sparse pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStats {
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Block side.
+    pub block: usize,
+    /// Retained blocks.
+    pub nnz_blocks: usize,
+    /// Fraction of blocks retained.
+    pub density: f64,
+    /// Minimum retained blocks in any block-row.
+    pub row_min: usize,
+    /// Maximum retained blocks in any block-row.
+    pub row_max: usize,
+    /// Mean retained blocks per block-row.
+    pub row_mean: f64,
+    /// Standard deviation of retained blocks per block-row.
+    pub row_std: f64,
+    /// `row_max / row_mean`: the straggler factor bounding the load imbalance
+    /// a per-row work assignment suffers (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl PatternStats {
+    /// Computes statistics of a layout.
+    pub fn of(layout: &BlockLayout) -> Self {
+        let counts = layout.row_counts();
+        let n = counts.len().max(1) as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / n;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+            .sum::<f64>()
+            / n;
+        let row_max = counts.iter().copied().max().unwrap_or(0);
+        PatternStats {
+            seq_len: layout.seq_len(),
+            block: layout.block(),
+            nnz_blocks: layout.nnz_blocks(),
+            density: layout.density(),
+            row_min: counts.iter().copied().min().unwrap_or(0),
+            row_max,
+            row_mean: mean,
+            row_std: var.sqrt(),
+            imbalance: if mean > 0.0 {
+                row_max as f64 / mean
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for PatternStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "L={} block={} nnz_blocks={} density={:.3} rows[min={} max={} mean={:.1} std={:.1}] imbalance={:.2}",
+            self.seq_len,
+            self.block,
+            self.nnz_blocks,
+            self.density,
+            self.row_min,
+            self.row_max,
+            self.row_mean,
+            self.row_std,
+            self.imbalance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{bigbird, sliding_window, BigBirdConfig};
+
+    #[test]
+    fn dense_stats() {
+        let s = PatternStats::of(&BlockLayout::dense(512, 64));
+        assert_eq!(s.nnz_blocks, 64);
+        assert_eq!(s.density, 1.0);
+        assert_eq!(s.row_min, 8);
+        assert_eq!(s.row_max, 8);
+        assert_eq!(s.imbalance, 1.0);
+        assert_eq!(s.row_std, 0.0);
+    }
+
+    #[test]
+    fn empty_stats_no_panic() {
+        let s = PatternStats::of(&BlockLayout::empty(512, 64));
+        assert_eq!(s.nnz_blocks, 0);
+        assert_eq!(s.imbalance, 1.0);
+    }
+
+    #[test]
+    fn window_is_nearly_balanced() {
+        let s = PatternStats::of(&sliding_window(4096, 64, 4));
+        assert!(s.imbalance < 1.2, "window imbalance {}", s.imbalance);
+    }
+
+    #[test]
+    fn bigbird_globals_create_imbalance() {
+        let s = PatternStats::of(&bigbird(4096, &BigBirdConfig::default()));
+        // The global block-rows are fully dense (64 blocks) while interior
+        // rows have ~7: large straggler factor.
+        assert!(s.row_max as f64 > s.row_mean * 3.0, "{s}");
+        assert!(s.imbalance > 3.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = PatternStats::of(&BlockLayout::dense(128, 64));
+        let txt = s.to_string();
+        assert!(txt.contains("L=128"));
+        assert!(txt.contains("density=1.000"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of block-sparse layouts, patterns and operations.
+
+use proptest::prelude::*;
+use resoftmax_sparse::{
+    block_sparse_softmax, pattern, sddmm, spmm, BigBirdConfig, BlockLayout, BlockSparseMatrix,
+    LongformerConfig, PatternStats,
+};
+use resoftmax_tensor::{matmul, max_abs_diff, randn_matrix, transpose, Matrix};
+
+fn geometry() -> impl Strategy<Value = (usize, usize)> {
+    // (n_blocks, block) with modest element counts
+    (1usize..10, 1usize..4).prop_map(|(n, bp)| (n, 1 << (bp + 1)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pattern generators always retain the diagonal (every token attends to
+    /// itself) and stay within density bounds.
+    #[test]
+    fn patterns_retain_diagonal((n, block) in geometry(), seed in 0u64..1000) {
+        let l = n * block;
+        let bb = pattern::bigbird(l, &BigBirdConfig {
+            block,
+            global_blocks: 1,
+            window_blocks: 3,
+            random_blocks: 1,
+            seed,
+        });
+        let lf = pattern::longformer(l, &LongformerConfig {
+            block,
+            window: block * 2,
+            global_tokens: block,
+        });
+        for layout in [&bb, &lf] {
+            for i in 0..n {
+                prop_assert!(layout.is_set(i, i), "diagonal block ({i},{i}) missing");
+            }
+            let d = layout.density();
+            prop_assert!(d > 0.0 && d <= 1.0);
+        }
+    }
+
+    /// union is commutative, idempotent, and monotone in density.
+    #[test]
+    fn union_laws((n, block) in geometry(), seed in 0u64..1000) {
+        let l = n * block;
+        let a = pattern::sliding_window(l, block, 1);
+        let b = pattern::bigbird(l, &BigBirdConfig {
+            block, global_blocks: 1, window_blocks: 1, random_blocks: 1, seed,
+        });
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(&a.union(&a), &a);
+        prop_assert!(ab.nnz_blocks() >= a.nnz_blocks().max(b.nnz_blocks()));
+        prop_assert!(ab.nnz_blocks() <= a.nnz_blocks() + b.nnz_blocks());
+    }
+
+    /// causal() removes exactly the strictly-upper blocks.
+    #[test]
+    fn causal_law((n, block) in geometry()) {
+        let dense = BlockLayout::dense(n * block, block);
+        let c = dense.causal();
+        prop_assert_eq!(c.nnz_blocks(), n * (n + 1) / 2);
+        for r in 0..n {
+            for col in 0..n {
+                prop_assert_eq!(c.is_set(r, col), col <= r);
+            }
+        }
+    }
+
+    /// element_mask cardinality equals nnz_elements.
+    #[test]
+    fn element_mask_cardinality((n, block) in geometry(), seed in 0u64..1000) {
+        let layout = pattern::bigbird(n * block, &BigBirdConfig {
+            block, global_blocks: 1, window_blocks: 1, random_blocks: 2, seed,
+        });
+        let mask = layout.element_mask();
+        let set = mask.iter().filter(|&&b| b).count();
+        prop_assert_eq!(set, layout.nnz_elements());
+    }
+
+    /// Stats are internally consistent.
+    #[test]
+    fn stats_consistency((n, block) in geometry(), seed in 0u64..1000) {
+        let layout = pattern::bigbird(n * block, &BigBirdConfig {
+            block, global_blocks: 1, window_blocks: 3, random_blocks: 1, seed,
+        });
+        let s = PatternStats::of(&layout);
+        prop_assert!(s.row_min <= s.row_max);
+        prop_assert!(s.row_mean >= s.row_min as f64 && s.row_mean <= s.row_max as f64);
+        prop_assert!((s.density - s.nnz_blocks as f64 / (n * n) as f64).abs() < 1e-12);
+        prop_assert!(s.imbalance >= 1.0 - 1e-12);
+    }
+
+    /// Block-sparse attention == masked dense attention, for random patterns.
+    #[test]
+    fn sparse_equals_masked_dense((n, block) in geometry(), seed in 0u64..1000) {
+        let l = n * block;
+        prop_assume!(l <= 128);
+        let layout = pattern::bigbird(l, &BigBirdConfig {
+            block, global_blocks: 1, window_blocks: 1, random_blocks: 1, seed,
+        });
+        let d = 8;
+        let q = randn_matrix::<f64>(l, d, 1.0, seed);
+        let k = randn_matrix::<f64>(l, d, 1.0, seed + 1);
+        let v = randn_matrix::<f64>(l, d, 1.0, seed + 2);
+        let sparse = spmm(&block_sparse_softmax(&sddmm(&q, &k, &layout).unwrap()), &v).unwrap();
+
+        let mask = layout.element_mask();
+        let scores = matmul(&q, &transpose(&k)).unwrap();
+        let masked = Matrix::from_fn(l, l, |r, c| {
+            if mask[r * l + c] { scores.get(r, c) } else { f64::NEG_INFINITY }
+        });
+        let p = resoftmax_kernels_free_softmax(&masked);
+        let dense = matmul(&p, &v).unwrap();
+        prop_assert!(max_abs_diff(&sparse, &dense) < 1e-9);
+    }
+
+    /// from_dense ∘ to_dense is the identity on the support.
+    #[test]
+    fn dense_roundtrip((n, block) in geometry(), seed in 0u64..1000) {
+        let l = n * block;
+        let layout = pattern::sliding_window(l, block, 1);
+        let m = randn_matrix::<f64>(l, l, 1.0, seed);
+        let bs = BlockSparseMatrix::from_dense(&m, layout.clone()).unwrap();
+        let back = bs.to_dense(0.0);
+        let bs2 = BlockSparseMatrix::from_dense(&back, layout).unwrap();
+        prop_assert_eq!(bs, bs2);
+    }
+}
+
+/// Local dense softmax reference (avoiding a circular dev-dependency on
+/// resoftmax-kernels).
+fn resoftmax_kernels_free_softmax(x: &Matrix<f64>) -> Matrix<f64> {
+    let mut y = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let m = x.row(r).iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if m == f64::NEG_INFINITY {
+            continue;
+        }
+        let d: f64 = x.row(r).iter().map(|v| (v - m).exp()).sum();
+        for c in 0..x.cols() {
+            y.set(r, c, (x.get(r, c) - m).exp() / d);
+        }
+    }
+    y
+}

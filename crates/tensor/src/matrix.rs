@@ -1,0 +1,429 @@
+//! Row-major dense matrix storage.
+
+use crate::scalar::Scalar;
+use core::fmt;
+
+/// Error returned when operand shapes are incompatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    msg: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with a human-readable description.
+    ///
+    /// Public so downstream crates building on these primitives (e.g. the
+    /// block-sparse ops) can report dimension mismatches uniformly.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ShapeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense row-major matrix.
+///
+/// This is deliberately a simple, safe container: all the performance-relevant
+/// modeling happens in `resoftmax-gpusim`; numerics here only need to be
+/// *correct* and mirror GPU dataflow ordering where that affects rounding.
+///
+/// # Example
+///
+/// ```
+/// use resoftmax_tensor::Matrix;
+/// let mut m = Matrix::<f32>::zeros(2, 3);
+/// m.set(1, 2, 7.0);
+/// assert_eq!(m.get(1, 2), 7.0);
+/// assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a generator function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        assert!(
+            rows.iter().all(|r| r.len() == ncols),
+            "all rows must have equal length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols: ncols,
+            data: rows.concat(),
+        }
+    }
+
+    /// Creates a matrix taking ownership of a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new(format!(
+                "data length {} != {}x{}",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { T::one() } else { T::zero() })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for a 0-element matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes when stored at this precision in device memory.
+    #[inline]
+    pub fn device_bytes(&self) -> u64 {
+        (self.len() * T::BYTES) as u64
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<T> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the data vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Applies `f` to each element, producing a new matrix of possibly
+    /// different element type.
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Converts every element to another scalar precision (rounding once).
+    pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        self.map(|x| U::from_f64(x.to_f64()))
+    }
+
+    /// Copies a rectangular region `src` into this matrix with its top-left
+    /// corner at `(r0, c0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the region does not fit.
+    pub fn write_block(&mut self, r0: usize, c0: usize, src: &Matrix<T>) -> Result<(), ShapeError> {
+        if r0 + src.rows > self.rows || c0 + src.cols > self.cols {
+            return Err(ShapeError::new(format!(
+                "block {}x{} at ({},{}) exceeds {}x{}",
+                src.rows, src.cols, r0, c0, self.rows, self.cols
+            )));
+        }
+        for r in 0..src.rows {
+            let dst_off = (r0 + r) * self.cols + c0;
+            self.data[dst_off..dst_off + src.cols].copy_from_slice(src.row(r));
+        }
+        Ok(())
+    }
+
+    /// Extracts a copy of the `h x w` block with top-left corner `(r0, c0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the region does not fit.
+    pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Result<Matrix<T>, ShapeError> {
+        if r0 + h > self.rows || c0 + w > self.cols {
+            return Err(ShapeError::new(format!(
+                "block {}x{} at ({},{}) exceeds {}x{}",
+                h, w, r0, c0, self.rows, self.cols
+            )));
+        }
+        Ok(Matrix::from_fn(h, w, |r, c| self.get(r0 + r, c0 + c)))
+    }
+
+    /// Iterator over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Returns `true` if any element is NaN.
+    pub fn has_nan(&self) -> bool {
+        self.data.iter().any(|x| x.is_nan())
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix<{}> {}x{} [", T::NAME, self.rows, self.cols)?;
+        let max_rows = 8;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(r, c))?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resoftmax_fp16::F16;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::<f32>::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        m.set(2, 3, 5.0);
+        assert_eq!(m.get(2, 3), 5.0);
+        assert_eq!(m.col(3), vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_rows_and_vec() {
+        let m = Matrix::<f32>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.get(1, 0), 3.0);
+        let v = Matrix::<f32>::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m, v);
+        assert!(Matrix::<f32>::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_rows_ragged_panics() {
+        let _ = Matrix::<f32>::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::<f32>::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn identity() {
+        let i = Matrix::<f64>::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn rows_and_slices() {
+        let m = Matrix::<f32>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let mut m = m;
+        m.row_mut(1)[0] = 9.0;
+        assert_eq!(m.get(1, 0), 9.0);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn blocks() {
+        let m = Matrix::<f32>::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let b = m.block(1, 2, 2, 2).unwrap();
+        assert_eq!(b.as_slice(), &[6.0, 7.0, 10.0, 11.0]);
+        assert!(m.block(3, 3, 2, 2).is_err());
+
+        let mut z = Matrix::<f32>::zeros(4, 4);
+        z.write_block(2, 2, &b).unwrap();
+        assert_eq!(z.get(2, 2), 6.0);
+        assert_eq!(z.get(3, 3), 11.0);
+        assert!(z.write_block(3, 3, &b).is_err());
+    }
+
+    #[test]
+    fn map_and_cast() {
+        let m = Matrix::<f32>::from_rows(&[&[1.5, -2.5]]);
+        let doubled = m.map(|x| x * 2.0);
+        assert_eq!(doubled.as_slice(), &[3.0, -5.0]);
+        let h: Matrix<F16> = m.cast();
+        assert_eq!(h.get(0, 0).to_f32(), 1.5);
+        let back: Matrix<f64> = h.cast();
+        assert_eq!(back.get(0, 1), -2.5);
+    }
+
+    #[test]
+    fn device_bytes_accounts_for_precision() {
+        let m32 = Matrix::<f32>::zeros(10, 10);
+        let m16 = Matrix::<F16>::zeros(10, 10);
+        assert_eq!(m32.device_bytes(), 400);
+        assert_eq!(m16.device_bytes(), 200);
+    }
+
+    #[test]
+    fn iter_row_major() {
+        let m = Matrix::<f32>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let items: Vec<_> = m.iter().collect();
+        assert_eq!(items[0], (0, 0, 1.0));
+        assert_eq!(items[3], (1, 1, 4.0));
+    }
+
+    #[test]
+    fn nan_detection() {
+        let mut m = Matrix::<f32>::zeros(2, 2);
+        assert!(!m.has_nan());
+        m.set(0, 1, f32::NAN);
+        assert!(m.has_nan());
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_truncates() {
+        let m = Matrix::<f32>::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix<fp32> 20x20"));
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn shape_error_display() {
+        let e = Matrix::<f32>::from_vec(2, 2, vec![0.0]).unwrap_err();
+        assert!(e.to_string().contains("shape mismatch"));
+    }
+}

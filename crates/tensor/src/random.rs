@@ -1,0 +1,109 @@
+//! Seeded random matrix generation.
+//!
+//! All randomness in the reproduction flows through explicit seeds so every
+//! experiment is deterministic — the substitute for loading pre-trained
+//! HuggingFace weights (see DESIGN.md: timing and traffic depend on matrix
+//! dimensions, not values).
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Standard-normal-ish matrix via Box–Muller from a seeded ChaCha stream,
+/// scaled by `std`.
+///
+/// # Example
+///
+/// ```
+/// use resoftmax_tensor::randn_matrix;
+/// let a = randn_matrix::<f32>(4, 4, 1.0, 42);
+/// let b = randn_matrix::<f32>(4, 4, 1.0, 42);
+/// assert_eq!(a, b); // deterministic in the seed
+/// ```
+pub fn randn_matrix<T: Scalar>(rows: usize, cols: usize, std: f64, seed: u64) -> Matrix<T> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let unit = Uniform::new(f64::MIN_POSITIVE, 1.0f64);
+    let mut spare: Option<f64> = None;
+    Matrix::from_fn(rows, cols, |_, _| {
+        let z = if let Some(s) = spare.take() {
+            s
+        } else {
+            let u1: f64 = unit.sample(&mut rng);
+            let u2: f64 = unit.sample(&mut rng);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            spare = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        T::from_f64(z * std)
+    })
+}
+
+/// Uniform matrix in `[lo, hi)` from a seeded ChaCha stream.
+pub fn uniform_matrix<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> Matrix<T> {
+    assert!(lo < hi, "empty uniform range");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dist = Uniform::new(lo, hi);
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(dist.sample(&mut rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resoftmax_fp16::F16;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = randn_matrix::<f32>(8, 8, 1.0, 7);
+        let b = randn_matrix::<f32>(8, 8, 1.0, 7);
+        let c = randn_matrix::<f32>(8, 8, 1.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let m = randn_matrix::<f64>(100, 100, 2.0, 123);
+        let n = m.len() as f64;
+        let mean = m.as_slice().iter().sum::<f64>() / n;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let m = uniform_matrix::<f32>(50, 50, -1.0, 3.0, 99);
+        assert!(m.as_slice().iter().all(|&x| (-1.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn uniform_bad_range_panics() {
+        let _ = uniform_matrix::<f32>(1, 1, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn works_at_half_precision() {
+        let m = randn_matrix::<F16>(16, 16, 1.0, 5);
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+        // same seed at different precision tracks the f64 stream
+        let m64 = randn_matrix::<f64>(16, 16, 1.0, 5);
+        for (a, b) in m.as_slice().iter().zip(m64.as_slice()) {
+            assert!((a.to_f64() - b).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The [`Scalar`] element trait connecting `f32`, `f64` and software binary16.
+
+use core::fmt::{Debug, Display};
+use resoftmax_fp16::F16;
+
+/// Element types a [`crate::Matrix`] can hold.
+///
+/// The trait routes all arithmetic through `f64` "accumulator" conversions so
+/// generic reference code can be written once and instantiated at any
+/// precision; precision-sensitive kernels (e.g. half-precision softmax)
+/// instead convert explicitly at each step to model GPU rounding behaviour.
+///
+/// This trait is sealed: the set of supported element types is fixed
+/// (`f32`, `f64`, [`F16`]).
+pub trait Scalar:
+    Copy + PartialEq + PartialOrd + Debug + Display + Default + Send + Sync + private::Sealed + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Value used by mask layers for "discard": negative infinity.
+    fn neg_infinity() -> Self;
+    /// Widens to `f64` (exact for all supported types).
+    fn to_f64(self) -> f64;
+    /// Rounds from `f64` to this precision (single rounding).
+    fn from_f64(x: f64) -> Self;
+    /// Widens to `f32` (exact for `f32` and `F16`; lossy for `f64`).
+    fn to_f32(self) -> f32;
+    /// Rounds from `f32` to this precision.
+    fn from_f32(x: f32) -> Self;
+    /// Returns `true` if the value is NaN.
+    fn is_nan(self) -> bool;
+    /// Returns `true` if the value is finite.
+    fn is_finite(self) -> bool;
+    /// Size of one element in bytes when stored in device memory.
+    const BYTES: usize;
+    /// Human-readable precision name (`"fp16"`, `"fp32"`, `"fp64"`).
+    const NAME: &'static str;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for super::F16 {}
+}
+
+impl Scalar for f32 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        f32::NEG_INFINITY
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    const BYTES: usize = 4;
+    const NAME: &'static str = "fp32";
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        f64::NEG_INFINITY
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x as f64
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    const BYTES: usize = 8;
+    const NAME: &'static str = "fp64";
+}
+
+impl Scalar for F16 {
+    #[inline]
+    fn zero() -> Self {
+        F16::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        F16::ONE
+    }
+    #[inline]
+    fn neg_infinity() -> Self {
+        F16::NEG_INFINITY
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        F16::to_f64(self)
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        F16::from_f64(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        F16::to_f32(self)
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        F16::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        F16::is_finite(self)
+    }
+    const BYTES: usize = 2;
+    const NAME: &'static str = "fp16";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(vals: &[f64]) {
+        for &v in vals {
+            let x = T::from_f64(v);
+            assert!(x.is_finite());
+            assert!((x.to_f64() - v).abs() <= v.abs() * 1e-3 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn roundtrips_all_precisions() {
+        let vals = [0.0, 1.0, -2.5, 100.0, 0.125];
+        roundtrip::<f32>(&vals);
+        roundtrip::<f64>(&vals);
+        roundtrip::<F16>(&vals);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(<f32 as Scalar>::zero(), 0.0);
+        assert_eq!(<f64 as Scalar>::one(), 1.0);
+        assert_eq!(<F16 as Scalar>::one().to_f32(), 1.0);
+        assert!(<F16 as Scalar>::neg_infinity().is_infinite());
+        assert!(!<f32 as Scalar>::neg_infinity().is_finite());
+    }
+
+    #[test]
+    fn bytes_and_names() {
+        assert_eq!(<F16 as Scalar>::BYTES, 2);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<F16 as Scalar>::NAME, "fp16");
+    }
+
+    #[test]
+    fn nan_detection() {
+        assert!(<f32 as Scalar>::is_nan(f32::NAN));
+        assert!(<F16 as Scalar>::is_nan(F16::NAN));
+        assert!(!<f64 as Scalar>::is_nan(1.0));
+    }
+}

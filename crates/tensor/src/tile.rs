@@ -1,0 +1,215 @@
+//! Tile partitioning mirroring GPU thread-block work distribution.
+//!
+//! The paper's central observation is about *which thread block owns which
+//! piece of the attention matrix*: MatMul TBs own square output tiles, the
+//! monolithic softmax TB owns whole rows, and the decomposed LS kernel's TBs
+//! own square tiles again (which is what makes fusion legal). [`TileDims`] and
+//! [`TileIter`] express those partitionings so both the numeric kernels and
+//! the cost models in `resoftmax-kernels` derive them from one source.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Dimensions of one tile (thread-block working set), `h` rows × `w` cols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileDims {
+    /// Tile height in rows.
+    pub h: usize,
+    /// Tile width in columns. The paper calls the LS sub-vector length `T`;
+    /// fusing LS into MatMul requires `w == T == MatMul output tile width`.
+    pub w: usize,
+}
+
+impl TileDims {
+    /// Creates tile dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(h: usize, w: usize) -> Self {
+        assert!(h > 0 && w > 0, "tile dims must be nonzero");
+        TileDims { h, w }
+    }
+
+    /// Square tile.
+    pub fn square(side: usize) -> Self {
+        TileDims::new(side, side)
+    }
+
+    /// Elements per full tile.
+    pub fn area(self) -> usize {
+        self.h * self.w
+    }
+
+    /// Number of tiles needed to cover an `rows x cols` matrix (ceiling
+    /// division in both dimensions).
+    pub fn grid_for(self, rows: usize, cols: usize) -> (usize, usize) {
+        (rows.div_ceil(self.h), cols.div_ceil(self.w))
+    }
+
+    /// Total tile count covering an `rows x cols` matrix.
+    pub fn count_for(self, rows: usize, cols: usize) -> usize {
+        let (gr, gc) = self.grid_for(rows, cols);
+        gr * gc
+    }
+}
+
+/// A rectangular region of a matrix: the working set of one thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileView {
+    /// First row of the tile.
+    pub row0: usize,
+    /// First column of the tile.
+    pub col0: usize,
+    /// Height (clipped at the matrix edge).
+    pub h: usize,
+    /// Width (clipped at the matrix edge).
+    pub w: usize,
+}
+
+impl TileView {
+    /// Extracts this tile's contents from a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view exceeds the matrix (cannot happen for views produced
+    /// by [`TileIter`] over the same matrix shape).
+    pub fn extract<T: Scalar>(&self, m: &Matrix<T>) -> Matrix<T> {
+        m.block(self.row0, self.col0, self.h, self.w)
+            .expect("tile view within matrix")
+    }
+
+    /// Writes `data` back at this tile's position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has different dimensions than the view or exceeds the
+    /// destination.
+    pub fn write_back<T: Scalar>(&self, m: &mut Matrix<T>, data: &Matrix<T>) {
+        assert_eq!((data.rows(), data.cols()), (self.h, self.w));
+        m.write_block(self.row0, self.col0, data)
+            .expect("tile view within matrix");
+    }
+
+    /// Elements in this (possibly edge-clipped) tile.
+    pub fn area(&self) -> usize {
+        self.h * self.w
+    }
+}
+
+/// Iterator over the tiles covering an `rows x cols` matrix, row-major over
+/// the tile grid, with edge tiles clipped.
+#[derive(Debug, Clone)]
+pub struct TileIter {
+    rows: usize,
+    cols: usize,
+    dims: TileDims,
+    next_r: usize,
+    next_c: usize,
+}
+
+impl TileIter {
+    /// Creates an iterator over all tiles of a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize, dims: TileDims) -> Self {
+        TileIter {
+            rows,
+            cols,
+            dims,
+            next_r: 0,
+            next_c: 0,
+        }
+    }
+}
+
+impl Iterator for TileIter {
+    type Item = TileView;
+
+    fn next(&mut self) -> Option<TileView> {
+        if self.next_r >= self.rows || self.cols == 0 {
+            return None;
+        }
+        let view = TileView {
+            row0: self.next_r,
+            col0: self.next_c,
+            h: self.dims.h.min(self.rows - self.next_r),
+            w: self.dims.w.min(self.cols - self.next_c),
+        };
+        self.next_c += self.dims.w;
+        if self.next_c >= self.cols {
+            self.next_c = 0;
+            self.next_r += self.dims.h;
+        }
+        Some(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_grid_math() {
+        let t = TileDims::new(64, 64);
+        assert_eq!(t.area(), 4096);
+        assert_eq!(t.grid_for(128, 128), (2, 2));
+        assert_eq!(t.grid_for(130, 127), (3, 2));
+        assert_eq!(t.count_for(130, 127), 6);
+        assert_eq!(TileDims::square(8), TileDims::new(8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_panic() {
+        let _ = TileDims::new(0, 4);
+    }
+
+    #[test]
+    fn iter_covers_matrix_exactly_once() {
+        let dims = TileDims::new(3, 4);
+        let (rows, cols) = (10, 9);
+        let mut covered = vec![0u32; rows * cols];
+        for t in TileIter::new(rows, cols, dims) {
+            for r in t.row0..t.row0 + t.h {
+                for c in t.col0..t.col0 + t.w {
+                    covered[r * cols + c] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&x| x == 1), "each cell exactly once");
+    }
+
+    #[test]
+    fn iter_count_matches_dims() {
+        let dims = TileDims::new(3, 4);
+        assert_eq!(TileIter::new(10, 9, dims).count(), dims.count_for(10, 9));
+        assert_eq!(TileIter::new(0, 9, dims).count(), 0);
+        assert_eq!(TileIter::new(9, 0, dims).count(), 0);
+    }
+
+    #[test]
+    fn edge_tiles_clip() {
+        let tiles: Vec<_> = TileIter::new(5, 5, TileDims::new(4, 4)).collect();
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(
+            tiles[3],
+            TileView {
+                row0: 4,
+                col0: 4,
+                h: 1,
+                w: 1
+            }
+        );
+        assert_eq!(tiles[3].area(), 1);
+    }
+
+    #[test]
+    fn extract_write_back_roundtrip() {
+        let m = Matrix::<f32>::from_fn(6, 6, |r, c| (r * 6 + c) as f32);
+        let mut out = Matrix::<f32>::zeros(6, 6);
+        for t in TileIter::new(6, 6, TileDims::new(4, 3)) {
+            let block = t.extract(&m);
+            t.write_back(&mut out, &block);
+        }
+        assert_eq!(out, m);
+    }
+}

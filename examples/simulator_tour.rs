@@ -1,0 +1,108 @@
+//! A tour of the GPU simulator as a standalone component: occupancy,
+//! bandwidth utilization, L2 forwarding, load imbalance, roofline
+//! classification and trace export — independent of any transformer.
+//!
+//! ```text
+//! cargo run --release --example simulator_tour
+//! ```
+
+use resoftmax::gpusim::roofline::{classify, Bound};
+use resoftmax::gpusim::{
+    chrome_trace, occupancy, DeviceSpec, Gpu, KernelCategory, KernelDesc, TbGroup, TbShape, TbWork,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = DeviceSpec::a100();
+    println!(
+        "device: {} ({} SMs, {:.0} GB/s, {:.0} tensor TFLOPS)\n",
+        device.name, device.num_sms, device.mem_bandwidth_gbps, device.fp16_tensor_tflops
+    );
+
+    // 1. Occupancy: the same kernel shape under different footprints.
+    println!("occupancy of a 256-thread block:");
+    for (label, shared, regs) in [
+        ("lean (1KB shared, 32 regs)", 1024u32, 32u32),
+        ("shared-hungry (64KB)", 64 * 1024, 32),
+        ("register-hungry (255 regs)", 1024, 255),
+    ] {
+        let occ = occupancy(&device, &TbShape::new(256, shared, regs))?;
+        println!(
+            "  {label:32} -> {} blocks/SM (limited by {:?})",
+            occ.tbs_per_sm, occ.limiter
+        );
+    }
+
+    // 2. Bandwidth utilization: the §5.1 knee.
+    let mut gpu = Gpu::new(device.clone());
+    println!("\nbandwidth utilization vs memory-active threads:");
+    for threads in [4096.0, 16384.0, 65536.0, 262144.0] {
+        println!(
+            "  {threads:>8.0} threads -> {:.0}% of peak",
+            gpu.bandwidth_utilization(threads) * 100.0
+        );
+    }
+
+    // 3. L2 forwarding: producer/consumer pairs vs a thrashing stream.
+    let produce = KernelDesc::builder("produce 8MB", KernelCategory::Other)
+        .shape(TbShape::new(256, 0, 32))
+        .uniform(1000, TbWork::memory(0.0, 8e6 / 1000.0))
+        .writes("intermediate", 8_000_000)
+        .build();
+    let consume = KernelDesc::builder("consume 8MB", KernelCategory::Other)
+        .shape(TbShape::new(256, 0, 32))
+        .uniform(1000, TbWork::memory(8e6 / 1000.0, 0.0))
+        .reads("intermediate", 8_000_000)
+        .build();
+    gpu.launch(&produce)?;
+    let hit = gpu.launch(&consume)?;
+    println!(
+        "\nL2 forwarding: consumer after producer reads {} MB from DRAM ({} MB from L2)",
+        hit.dram_read_bytes / 1e6,
+        hit.l2_hit_bytes / 1e6
+    );
+
+    // 4. Load imbalance: a straggler group vs balanced work.
+    let mut groups = vec![TbGroup::new(TbWork::memory(100_000.0, 0.0), 215)];
+    groups.push(TbGroup::new(TbWork::memory(2_000_000.0, 0.0), 1));
+    let imbalanced = KernelDesc::builder("imbalanced", KernelCategory::MatMulPv)
+        .shape(TbShape::new(1024, 0, 32))
+        .grouped(groups)
+        .build();
+    let total = 215.0 * 100_000.0 + 2_000_000.0;
+    let balanced = KernelDesc::builder("balanced", KernelCategory::MatMulPv)
+        .shape(TbShape::new(1024, 0, 32))
+        .uniform(216, TbWork::memory(total / 216.0, 0.0))
+        .build();
+    let t_imb = gpu.launch(&imbalanced)?.time_s;
+    let t_bal = gpu.launch(&balanced)?.time_s;
+    println!(
+        "\nload imbalance: one 20x straggler makes the same bytes take {:.1}x longer",
+        t_imb / t_bal
+    );
+
+    // 5. Roofline classification of what we just ran.
+    println!("\nroofline classification:");
+    for k in gpu.timeline().kernels() {
+        let p = classify(&device, k);
+        let b = match p.bound {
+            Bound::Memory => "memory-bound",
+            Bound::Compute => "compute-bound",
+            Bound::LaunchOverhead => "launch-bound",
+        };
+        println!(
+            "  {:14} {:.2} FLOP/B -> {b} ({:.0}% of roofline)",
+            k.name,
+            p.intensity,
+            p.achieved_fraction * 100.0
+        );
+    }
+
+    // 6. Export the whole session for chrome://tracing.
+    let json = chrome_trace::to_chrome_trace(gpu.timeline());
+    std::fs::write("simulator_tour_trace.json", &json)?;
+    println!(
+        "\nwrote simulator_tour_trace.json ({} events) — open in chrome://tracing",
+        gpu.timeline().len()
+    );
+    Ok(())
+}
