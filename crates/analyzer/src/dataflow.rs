@@ -1,0 +1,365 @@
+//! Buffer def-use analysis over the schedule's [`BufferUse`] declarations.
+//!
+//! The schedule is a straight-line program whose "variables" are the named
+//! device buffers; kernels are its statements. Within one kernel, reads
+//! observe the *old* contents and writes happen after — in-place updates
+//! (scale/mask rewriting the score matrix, fused bias epilogues) are
+//! therefore ordinary read-then-write events, not hazards.
+//!
+//! Checks:
+//!
+//! * **use-before-def** — a buffer is read before any kernel wrote it.
+//!   Buffers the schedule never writes at all are external inputs (token
+//!   ids, weights) and exempt — *except* the attention intermediates
+//!   (`scores`, `x'`, `m'`, `d'`, `r'`, `probs`, `q`/`k`/`v`, `attn_out`),
+//!   which by construction must be produced in-schedule; a renamed or
+//!   dropped producer surfaces here.
+//! * **dead store** — a write no later kernel reads (the final layer
+//!   boundary `l{layers}.x` is the schedule's sink and exempt).
+//! * **WAW hazard** — a buffer overwritten with no intervening reader: the
+//!   first write was wasted work.
+//! * **shape** — all uses of a buffer must agree on its resident footprint,
+//!   and buffers with a known role must match the size implied by the run
+//!   dimensions (`L`, `N_sv`, FP16 element width).
+//!
+//! [`BufferUse`]: resoftmax_gpusim::BufferUse
+
+use crate::diagnostic::{Diagnostic, Rule};
+use crate::spec::ScheduleSpec;
+use resoftmax_gpusim::KernelDesc;
+use std::collections::BTreeMap;
+
+const FP16_BYTES: u64 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    kernel: usize,
+    is_write: bool,
+    footprint: u64,
+}
+
+/// Buffer roles that must be produced by the schedule itself; reading one
+/// that nothing writes is a wiring bug, not an external input.
+fn is_attention_intermediate(suffix: &str) -> bool {
+    matches!(
+        suffix,
+        "scores"
+            | "probs"
+            | "x_prime"
+            | "m_prime"
+            | "d_prime"
+            | "r_prime"
+            | "q"
+            | "k"
+            | "v"
+            | "attn_out"
+    )
+}
+
+/// The footprint the run dimensions imply for a buffer of known role;
+/// `None` for buffers the analyzer has no formula for (weights, token ids,
+/// model-specific extras).
+fn expected_footprint(spec: &ScheduleSpec, suffix: &str) -> Option<u64> {
+    let inst = spec.instances();
+    let l = spec.seq_len as u64;
+    let rows = (spec.seq_len * spec.batch) as u64;
+    let attn = match &spec.sparse {
+        Some(s) => s.nnz_elements() as u64 * FP16_BYTES * inst,
+        None => l * spec.seq_len as u64 * FP16_BYTES * inst,
+    };
+    let intermediate = if let Some(s) = &spec.sparse {
+        s.intermediate_elements() as u64 * FP16_BYTES * inst
+    } else {
+        let n_sv = (spec.seq_len / spec.tile_n).max(1) as u64;
+        l * n_sv * FP16_BYTES * inst
+    };
+    match suffix {
+        "scores" | "probs" | "x_prime" => Some(attn),
+        "m_prime" | "d_prime" | "r_prime" => Some(intermediate),
+        "q" | "k" | "v" | "attn_out" => Some(l * spec.d_head() as u64 * FP16_BYTES * inst),
+        "x" | "proj" | "ln1" | "ff2" => Some(rows * spec.d_model as u64 * FP16_BYTES),
+        "ff1" => Some(rows * spec.d_ff as u64 * FP16_BYTES),
+        _ => None,
+    }
+}
+
+fn buffer_suffix(id: &str) -> &str {
+    id.rsplit('.').next().unwrap_or(id)
+}
+
+/// Runs the def-use checks over the whole schedule.
+pub fn check(spec: &ScheduleSpec, kernels: &[KernelDesc], diags: &mut Vec<Diagnostic>) {
+    let mut buffers: BTreeMap<&str, Vec<Event>> = BTreeMap::new();
+    for (i, k) in kernels.iter().enumerate() {
+        for b in &k.reads {
+            buffers.entry(&b.id).or_default().push(Event {
+                kernel: i,
+                is_write: false,
+                footprint: b.footprint,
+            });
+        }
+        for b in &k.writes {
+            buffers.entry(&b.id).or_default().push(Event {
+                kernel: i,
+                is_write: true,
+                footprint: b.footprint,
+            });
+        }
+    }
+
+    let sink = format!("l{}.x", spec.layers);
+    for (id, events) in &buffers {
+        let suffix = buffer_suffix(id);
+        check_def_use(spec, kernels, id, suffix, events, &sink, diags);
+        check_shape(spec, id, suffix, events, diags);
+    }
+}
+
+fn check_def_use(
+    _spec: &ScheduleSpec,
+    kernels: &[KernelDesc],
+    id: &str,
+    suffix: &str,
+    events: &[Event],
+    sink: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let first_write = events.iter().find(|e| e.is_write);
+    match first_write {
+        None => {
+            // Never written: an external input — unless it's an attention
+            // intermediate, which the schedule itself must produce.
+            if is_attention_intermediate(suffix) {
+                let reader = events[0].kernel;
+                diags.push(Diagnostic::error(
+                    Rule::DataflowUseBeforeDef,
+                    reader,
+                    format!(
+                        "`{}` reads `{id}`, an attention intermediate no kernel writes",
+                        kernels[reader].name
+                    ),
+                ));
+            }
+            return;
+        }
+        Some(w) => {
+            for e in events.iter().take_while(|e| !e.is_write) {
+                if e.kernel < w.kernel {
+                    diags.push(Diagnostic::error(
+                        Rule::DataflowUseBeforeDef,
+                        e.kernel,
+                        format!(
+                            "`{}` reads `{id}` before its first writer (`{}`, kernel #{}) runs",
+                            kernels[e.kernel].name, kernels[w.kernel].name, w.kernel
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Dead store: no read event after the last write event.
+    let last_write_pos = events
+        .iter()
+        .rposition(|e| e.is_write)
+        .expect("has a write");
+    let read_after = events[last_write_pos + 1..].iter().any(|e| !e.is_write);
+    if !read_after && id != sink {
+        let k = events[last_write_pos].kernel;
+        diags.push(Diagnostic::warning(
+            Rule::DataflowDeadStore,
+            k,
+            format!(
+                "`{}` writes `{id}` but no later kernel reads it",
+                kernels[k].name
+            ),
+        ));
+    }
+
+    // WAW hazard: two writes from different kernels with no read between.
+    let mut last: Option<&Event> = None;
+    for e in events {
+        if e.is_write {
+            if let Some(prev) = last {
+                if prev.is_write && prev.kernel != e.kernel {
+                    diags.push(Diagnostic::warning(
+                        Rule::DataflowWawHazard,
+                        e.kernel,
+                        format!(
+                            "`{}` overwrites `{id}` though nothing read the value \
+                             `{}` (kernel #{}) wrote",
+                            kernels[e.kernel].name, kernels[prev.kernel].name, prev.kernel
+                        ),
+                    ));
+                }
+            }
+        }
+        last = Some(e);
+    }
+}
+
+fn check_shape(
+    spec: &ScheduleSpec,
+    id: &str,
+    suffix: &str,
+    events: &[Event],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let first = events[0].footprint;
+    if let Some(e) = events.iter().find(|e| e.footprint != first) {
+        diags.push(Diagnostic::error(
+            Rule::DataflowShape,
+            e.kernel,
+            format!(
+                "`{id}` is used with conflicting resident footprints: {first} B vs {} B",
+                e.footprint
+            ),
+        ));
+        return; // one size conflict per buffer is enough
+    }
+    if let Some(expected) = expected_footprint(spec, suffix) {
+        if first != expected {
+            diags.push(Diagnostic::error(
+                Rule::DataflowShape,
+                events[0].kernel,
+                format!("`{id}` has footprint {first} B but the run dimensions imply {expected} B"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScheduleSpec;
+    use resoftmax_gpusim::{KernelCategory, KernelDesc};
+
+    fn spec() -> ScheduleSpec {
+        let mut s = ScheduleSpec::dense_test(1024, 1);
+        s.layers = 1;
+        s
+    }
+
+    fn attn_bytes(s: &ScheduleSpec) -> u64 {
+        (s.seq_len * s.seq_len * 2) as u64 * s.instances()
+    }
+
+    #[test]
+    fn clean_chain_passes() {
+        let s = spec();
+        let a = attn_bytes(&s);
+        let mut qk = KernelDesc::builder("qk", KernelCategory::MatMulQk);
+        qk.reads("tokens", 100).writes("l0.scores", a);
+        let mut sm = KernelDesc::builder("sm", KernelCategory::Softmax);
+        sm.reads("l0.scores", a)
+            .writes("l1.x", (s.seq_len * s.d_model * 2) as u64);
+        let mut diags = Vec::new();
+        check(&s, &[qk.build(), sm.build()], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn in_place_update_is_not_a_hazard() {
+        let s = spec();
+        let a = attn_bytes(&s);
+        let mut qk = KernelDesc::builder("qk", KernelCategory::MatMulQk);
+        qk.writes("l0.scores", a);
+        let mut scale = KernelDesc::builder("scale", KernelCategory::Scale);
+        scale.reads("l0.scores", a).writes("l0.scores", a);
+        let mut sm = KernelDesc::builder("sm", KernelCategory::Softmax);
+        sm.reads("l0.scores", a)
+            .writes("l1.x", (s.seq_len * s.d_model * 2) as u64);
+        let mut diags = Vec::new();
+        check(&s, &[qk.build(), scale.build(), sm.build()], &mut diags);
+        assert!(
+            !diags.iter().any(|d| d.rule == Rule::DataflowWawHazard),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unwritten_intermediate_is_use_before_def() {
+        let s = spec();
+        let mut pv = KernelDesc::builder("pv", KernelCategory::MatMulPv);
+        pv.reads("l0.probs", attn_bytes(&s));
+        let mut diags = Vec::new();
+        check(&s, &[pv.build()], &mut diags);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::DataflowUseBeforeDef && d.kernel == Some(0)));
+    }
+
+    #[test]
+    fn read_before_later_writer_is_flagged() {
+        let s = spec();
+        let a = attn_bytes(&s);
+        let mut sm = KernelDesc::builder("sm", KernelCategory::Softmax);
+        sm.reads("l0.scores", a);
+        let mut qk = KernelDesc::builder("qk", KernelCategory::MatMulQk);
+        qk.writes("l0.scores", a);
+        let mut diags = Vec::new();
+        check(&s, &[sm.build(), qk.build()], &mut diags);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::DataflowUseBeforeDef && d.kernel == Some(0)));
+        // ... and the now-unread write is dead.
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::DataflowDeadStore && d.kernel == Some(1)));
+    }
+
+    #[test]
+    fn waw_without_reader_is_flagged() {
+        let s = spec();
+        let a = attn_bytes(&s);
+        let mut qk1 = KernelDesc::builder("qk1", KernelCategory::MatMulQk);
+        qk1.writes("l0.scores", a);
+        let mut qk2 = KernelDesc::builder("qk2", KernelCategory::MatMulQk);
+        qk2.writes("l0.scores", a);
+        let mut sm = KernelDesc::builder("sm", KernelCategory::Softmax);
+        sm.reads("l0.scores", a)
+            .writes("l1.x", (s.seq_len * s.d_model * 2) as u64);
+        let mut diags = Vec::new();
+        check(&s, &[qk1.build(), qk2.build(), sm.build()], &mut diags);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::DataflowWawHazard && d.kernel == Some(1)));
+    }
+
+    #[test]
+    fn sink_write_is_not_dead() {
+        let s = spec();
+        let mut ln = KernelDesc::builder("ln", KernelCategory::LayerNorm);
+        ln.writes("l1.x", (s.seq_len * s.d_model * 2) as u64);
+        let mut diags = Vec::new();
+        check(&s, &[ln.build()], &mut diags);
+        assert!(!diags.iter().any(|d| d.rule == Rule::DataflowDeadStore));
+    }
+
+    #[test]
+    fn footprint_conflict_and_wrong_size_are_shape_errors() {
+        let s = spec();
+        let a = attn_bytes(&s);
+        let mut qk = KernelDesc::builder("qk", KernelCategory::MatMulQk);
+        qk.writes("l0.scores", a);
+        let mut sm = KernelDesc::builder("sm", KernelCategory::Softmax);
+        sm.reads("l0.scores", a / 2)
+            .writes("l1.x", (s.seq_len * s.d_model * 2) as u64);
+        let mut diags = Vec::new();
+        check(&s, &[qk.build(), sm.build()], &mut diags);
+        assert!(diags.iter().any(|d| d.rule == Rule::DataflowShape));
+
+        // consistent but wrong against the run dimensions
+        let mut qk = KernelDesc::builder("qk", KernelCategory::MatMulQk);
+        qk.writes("l0.scores", a * 2);
+        let mut sm = KernelDesc::builder("sm", KernelCategory::Softmax);
+        sm.reads("l0.scores", a * 2)
+            .writes("l1.x", (s.seq_len * s.d_model * 2) as u64);
+        let mut diags = Vec::new();
+        check(&s, &[qk.build(), sm.build()], &mut diags);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::DataflowShape),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Diagnostic types shared by every rule family.
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is.
+///
+/// The ordering is semantic: `Info < Warning < Error`, so diagnostics can be
+/// sorted or thresholded with comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Observation with no action needed (e.g. a rule skipped for lack of
+    /// metadata on a hand-rolled kernel).
+    Info,
+    /// Suspicious but not provably wrong — tolerated in CI.
+    Warning,
+    /// Invariant violation; the `analyze` binary exits nonzero and the
+    /// debug-mode schedule assertion panics.
+    Error,
+}
+
+impl Severity {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Identity of the rule that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rule {
+    /// LS sub-vector length must equal the producing MatMul's tile width
+    /// (§3.3 fusion-legality condition).
+    FusionTileWidth,
+    /// Global Scaling must be an elementwise prologue on the `P·V` LHS.
+    FusionGsPlacement,
+    /// SDA category sequence must follow the strategy's grammar.
+    FusionSequence,
+    /// A buffer is read before any kernel has written it (but is written
+    /// later — buffers never written are treated as external inputs).
+    DataflowUseBeforeDef,
+    /// A buffer write is never read by any later kernel.
+    DataflowDeadStore,
+    /// A buffer is overwritten with no intervening reader.
+    DataflowWawHazard,
+    /// A buffer's declared footprint disagrees between uses, or with the
+    /// size implied by the run dimensions.
+    DataflowShape,
+    /// Declared DRAM totals deviate from the category's analytic formula.
+    TrafficFormula,
+    /// Per-buffer traffic attribution exceeds the declared DRAM totals.
+    TrafficAttribution,
+}
+
+impl Rule {
+    /// Stable, grep-friendly rule code (`family/name`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::FusionTileWidth => "fusion/tile-width",
+            Rule::FusionGsPlacement => "fusion/gs-placement",
+            Rule::FusionSequence => "fusion/sequence",
+            Rule::DataflowUseBeforeDef => "dataflow/use-before-def",
+            Rule::DataflowDeadStore => "dataflow/dead-store",
+            Rule::DataflowWawHazard => "dataflow/waw-hazard",
+            Rule::DataflowShape => "dataflow/shape",
+            Rule::TrafficFormula => "traffic/formula",
+            Rule::TrafficAttribution => "traffic/attribution",
+        }
+    }
+}
+
+/// One finding, tied to a rule and (usually) a kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Index of the offending kernel in the analyzed schedule; `None` for
+    /// schedule-wide findings.
+    pub kernel: Option<usize>,
+    /// Human-readable description (includes the kernel name when relevant).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Error-severity diagnostic for a specific kernel.
+    pub fn error(rule: Rule, kernel: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            kernel: Some(kernel),
+            message: message.into(),
+        }
+    }
+
+    /// Warning-severity diagnostic for a specific kernel.
+    pub fn warning(rule: Rule, kernel: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            kernel: Some(kernel),
+            message: message.into(),
+        }
+    }
+
+    /// Error-severity diagnostic not tied to a single kernel.
+    pub fn schedule_error(rule: Rule, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            kernel: None,
+            message: message.into(),
+        }
+    }
+
+    /// One-line rendering: `error[fusion/tile-width] kernel #12: ...`.
+    pub fn render(&self) -> String {
+        match self.kernel {
+            Some(i) => format!(
+                "{}[{}] kernel #{i}: {}",
+                self.severity.label(),
+                self.rule.code(),
+                self.message
+            ),
+            None => format!(
+                "{}[{}] {}",
+                self.severity.label(),
+                self.rule.code(),
+                self.message
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn render_includes_code_and_kernel() {
+        let d = Diagnostic::error(Rule::TrafficFormula, 3, "boom");
+        assert_eq!(d.render(), "error[traffic/formula] kernel #3: boom");
+        let s = Diagnostic::schedule_error(Rule::FusionSequence, "short");
+        assert!(s.render().starts_with("error[fusion/sequence]"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Diagnostic::warning(Rule::DataflowDeadStore, 7, "unread");
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,86 @@
+//! Aggregated analysis results for CLI / CI consumption.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of analyzing one schedule: the diagnostics plus severity
+/// tallies, renderable as the `analyze` binary's text output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// All findings, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wraps the output of [`crate::analyze`].
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        Report { diagnostics }
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` when any finding is an error (CI gate).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Multi-line rendering: one line per diagnostic, then a tally.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out
+    }
+
+    /// One-line severity tally, e.g. `2 errors, 1 warning`.
+    pub fn summary(&self) -> String {
+        let (e, w, i) = (
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        );
+        if e == 0 && w == 0 && i == 0 {
+            return "clean".into();
+        }
+        let mut parts = Vec::new();
+        for (n, name) in [(e, "error"), (w, "warning"), (i, "info")] {
+            if n > 0 {
+                let s = if n == 1 { "" } else { "s" };
+                parts.push(format!("{n} {name}{s}"));
+            }
+        }
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::{Diagnostic, Rule};
+
+    #[test]
+    fn tallies_and_gate() {
+        let r = Report::new(vec![
+            Diagnostic::error(Rule::TrafficFormula, 0, "a"),
+            Diagnostic::warning(Rule::DataflowDeadStore, 1, "b"),
+        ]);
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.summary(), "1 error, 1 warning");
+        assert!(r.render().contains("error[traffic/formula] kernel #0: a"));
+        let clean = Report::new(vec![]);
+        assert!(!clean.has_errors());
+        assert_eq!(clean.summary(), "clean");
+    }
+}

@@ -1,0 +1,200 @@
+//! The analyzer's description of the run a schedule was built for.
+//!
+//! The model crate owns `ModelConfig`/`RunParams`/`LibraryProfile`; this
+//! crate sits *below* it in the dependency graph (so the schedule builder
+//! can assert against it), so the facts the rules need are flattened into an
+//! analyzer-owned [`ScheduleSpec`] that the model layer populates.
+
+use resoftmax_gpusim::{KernelCategory, KernelDesc};
+use resoftmax_kernels::costs::AttnDims;
+use serde::{Deserialize, Serialize};
+
+/// Which softmax configuration the schedule was built with (mirrors the
+/// model layer's `SoftmaxStrategy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Monolithic softmax.
+    Baseline,
+    /// Softmax decomposition (standalone LS/IR/GS).
+    Decomposed,
+    /// Decomposition + fusion (LS in the QK epilogue, GS in the PV prologue).
+    Recomposed,
+    /// Fully fused online-softmax attention.
+    OnlineFused,
+}
+
+/// Block-sparse layout facts needed by the rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseSpec {
+    /// Square block side.
+    pub block: usize,
+    /// Block rows/columns per instance (`L / block`).
+    pub n_blocks: usize,
+    /// Retained blocks per instance.
+    pub nnz_blocks: usize,
+    /// Retained blocks per block-row, `n_blocks` entries.
+    pub row_counts: Vec<usize>,
+}
+
+impl SparseSpec {
+    /// Retained elements per instance.
+    pub fn nnz_elements(&self) -> usize {
+        self.nnz_blocks * self.block * self.block
+    }
+
+    /// Elements of one `m'`/`d'`/`r'` plane per instance: one value per
+    /// (row, retained block of its block-row).
+    pub fn intermediate_elements(&self) -> usize {
+        self.row_counts.iter().map(|&cnt| cnt * self.block).sum()
+    }
+}
+
+/// Everything the rules need to know about the run a schedule implements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSpec {
+    /// Sequence length `L`.
+    pub seq_len: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Hidden size `D_m`.
+    pub d_model: usize,
+    /// FeedForward inner size `D_ff`.
+    pub d_ff: usize,
+    /// Transformer layers.
+    pub layers: usize,
+    /// Softmax configuration.
+    pub strategy: StrategyKind,
+    /// MatMul output-tile height.
+    pub tile_m: usize,
+    /// MatMul output-tile width — the LS sub-vector length `T`.
+    pub tile_n: usize,
+    /// Library work multiplier applied to softmax-family kernels after
+    /// generation.
+    pub softmax_overhead: f64,
+    /// Library work multiplier applied to MatMul kernels after generation.
+    pub matmul_overhead: f64,
+    /// Extra work multiplier applied to every *attention* kernel of a
+    /// block-sparse schedule (gather-based implementations move the data an
+    /// extra time); `1.0` otherwise.
+    pub attention_overhead: f64,
+    /// Scale and mask run as standalone elementwise kernels (dense path).
+    pub separate_scale_mask: bool,
+    /// Bias/activation/residual run as standalone kernels.
+    pub separate_elementwise: bool,
+    /// Block-sparse layout when the schedule uses block-sparse attention
+    /// kernels; `None` for dense schedules (including dense fallbacks).
+    pub sparse: Option<SparseSpec>,
+}
+
+impl ScheduleSpec {
+    /// Per-head hidden size.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Attention instances (`heads × batch`).
+    pub fn instances(&self) -> u64 {
+        (self.heads * self.batch) as u64
+    }
+
+    /// The attention dimensions of this run's (self-attention) SDA blocks.
+    pub fn attn_dims(&self) -> AttnDims {
+        AttnDims::new(self.seq_len, self.d_head(), self.heads, self.batch)
+    }
+
+    /// The work multiplier `build_schedule` applied to this kernel after
+    /// generation: the library overhead for its category, times the sparse
+    /// gather penalty for attention kernels of block-sparse schedules.
+    /// Declared `TbSet` byte/FLOP totals carry this factor; the analytic
+    /// formulas and `BufferUse` declarations do not.
+    pub fn work_overhead(&self, k: &KernelDesc) -> f64 {
+        let gather = if self.sparse.is_some() && k.category.in_sda() {
+            self.attention_overhead
+        } else {
+            1.0
+        };
+        let library = match k.category {
+            c if c.is_softmax_family() => self.softmax_overhead,
+            KernelCategory::MatMulQk
+            | KernelCategory::MatMulPv
+            | KernelCategory::Fc
+            | KernelCategory::FeedForward => self.matmul_overhead,
+            _ => 1.0,
+        };
+        gather * library
+    }
+
+    /// A plain dense spec for unit tests: BERT-large-like dimensions, the
+    /// paper's baseline library profile, baseline strategy.
+    pub fn dense_test(seq_len: usize, layers: usize) -> Self {
+        ScheduleSpec {
+            seq_len,
+            batch: 1,
+            heads: 16,
+            d_model: 1024,
+            d_ff: 4096,
+            layers,
+            strategy: StrategyKind::Baseline,
+            tile_m: 64,
+            tile_n: 64,
+            softmax_overhead: 1.0,
+            matmul_overhead: 1.0,
+            attention_overhead: 1.0,
+            separate_scale_mask: false,
+            separate_elementwise: false,
+            sparse: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resoftmax_gpusim::{KernelCategory, KernelDesc};
+
+    #[test]
+    fn derived_dimensions() {
+        let spec = ScheduleSpec::dense_test(4096, 24);
+        assert_eq!(spec.d_head(), 64);
+        assert_eq!(spec.instances(), 16);
+        assert_eq!(spec.attn_dims().kv_len, 4096);
+    }
+
+    #[test]
+    fn overhead_routing() {
+        let mut spec = ScheduleSpec::dense_test(1024, 1);
+        spec.softmax_overhead = 1.25;
+        spec.matmul_overhead = 1.05;
+        let softmax = KernelDesc::builder("s", KernelCategory::Softmax).build();
+        let fc = KernelDesc::builder("f", KernelCategory::Fc).build();
+        let glue = KernelDesc::builder("g", KernelCategory::Other).build();
+        assert_eq!(spec.work_overhead(&softmax), 1.25);
+        assert_eq!(spec.work_overhead(&fc), 1.05);
+        assert_eq!(spec.work_overhead(&glue), 1.0);
+        // gather penalty stacks on attention kernels only when sparse
+        spec.attention_overhead = 2.0;
+        assert_eq!(spec.work_overhead(&softmax), 1.25, "dense: no gather");
+        spec.sparse = Some(SparseSpec {
+            block: 64,
+            n_blocks: 16,
+            nnz_blocks: 48,
+            row_counts: vec![3; 16],
+        });
+        assert_eq!(spec.work_overhead(&softmax), 2.5);
+        assert_eq!(spec.work_overhead(&fc), 1.05, "FC is outside the SDA");
+    }
+
+    #[test]
+    fn sparse_spec_counts() {
+        let s = SparseSpec {
+            block: 64,
+            n_blocks: 4,
+            nnz_blocks: 6,
+            row_counts: vec![1, 2, 2, 1],
+        };
+        assert_eq!(s.nnz_elements(), 6 * 64 * 64);
+        assert_eq!(s.intermediate_elements(), 6 * 64);
+    }
+}

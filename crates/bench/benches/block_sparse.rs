@@ -25,13 +25,13 @@ fn bench_sparse_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_sparse_L512");
     group.sample_size(20);
     group.bench_function("sddmm", |b| {
-        b.iter(|| sddmm(black_box(&q), &k, &layout).unwrap())
+        b.iter(|| sddmm(black_box(&q), &k, &layout).unwrap());
     });
     group.bench_function("softmax_monolithic", |b| {
-        b.iter(|| block_sparse_softmax(black_box(&scores)))
+        b.iter(|| block_sparse_softmax(black_box(&scores)));
     });
     group.bench_function("softmax_decomposed", |b| {
-        b.iter(|| bs_decomposed_softmax(black_box(&scores)))
+        b.iter(|| bs_decomposed_softmax(black_box(&scores)));
     });
     group.bench_function("spmm", |b| b.iter(|| spmm(black_box(&probs), &v).unwrap()));
     group.finish();
@@ -41,10 +41,10 @@ fn bench_pattern_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("pattern_generation");
     for l in [1024usize, 4096] {
         group.bench_with_input(BenchmarkId::new("bigbird", l), &l, |b, &l| {
-            b.iter(|| pattern::bigbird(l, &BigBirdConfig::default()))
+            b.iter(|| pattern::bigbird(l, &BigBirdConfig::default()));
         });
         group.bench_with_input(BenchmarkId::new("longformer", l), &l, |b, &l| {
-            b.iter(|| pattern::longformer(l, &pattern::LongformerConfig::default()))
+            b.iter(|| pattern::longformer(l, &pattern::LongformerConfig::default()));
         });
     }
     group.finish();

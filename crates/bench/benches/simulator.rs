@@ -10,7 +10,7 @@ fn bench_schedule_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_build");
     for model in [ModelConfig::bert_large(), ModelConfig::bigbird_large()] {
         group.bench_with_input(BenchmarkId::from_parameter(&model.name), &model, |b, m| {
-            b.iter(|| build_schedule(black_box(m), &RunParams::new(4096)))
+            b.iter(|| build_schedule(black_box(m), &RunParams::new(4096)));
         });
     }
     group.finish();
@@ -23,7 +23,7 @@ fn bench_full_inference_sim(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("baseline", &model.name), &model, |b, m| {
             b.iter(|| {
                 run_inference(black_box(m), &RunParams::new(4096), DeviceSpec::a100()).unwrap()
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("sdf", &model.name), &model, |b, m| {
             b.iter(|| {
@@ -33,7 +33,7 @@ fn bench_full_inference_sim(c: &mut Criterion) {
                     DeviceSpec::a100(),
                 )
                 .unwrap()
-            })
+            });
         });
     }
     group.finish();

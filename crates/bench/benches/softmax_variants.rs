@@ -18,10 +18,10 @@ fn bench_softmax_forward(c: &mut Criterion) {
     for l in [256usize, 1024, 4096] {
         let x = randn_matrix::<f32>(64, l, 2.0, 42);
         group.bench_with_input(BenchmarkId::new("monolithic", l), &x, |b, x| {
-            b.iter(|| softmax_rows(black_box(x)))
+            b.iter(|| softmax_rows(black_box(x)));
         });
         group.bench_with_input(BenchmarkId::new("decomposed_t64", l), &x, |b, x| {
-            b.iter(|| decomposed_softmax(black_box(x), 64).unwrap())
+            b.iter(|| decomposed_softmax(black_box(x), 64).unwrap());
         });
     }
     group.finish();
@@ -32,7 +32,7 @@ fn bench_softmax_fp16(c: &mut Criterion) {
     let x = randn_matrix::<F16>(64, 1024, 2.0, 7);
     group.bench_function("monolithic", |b| b.iter(|| softmax_rows(black_box(&x))));
     group.bench_function("decomposed_t64", |b| {
-        b.iter(|| decomposed_softmax(black_box(&x), 64).unwrap())
+        b.iter(|| decomposed_softmax(black_box(&x), 64).unwrap());
     });
     group.finish();
 }
@@ -47,10 +47,10 @@ fn bench_attention(c: &mut Criterion) {
     let v = randn_matrix::<f32>(l, d, 1.0, 3);
     let scale = 1.0 / (d as f64).sqrt();
     group.bench_function("reference_unfused", |b| {
-        b.iter(|| reference_attention(black_box(&q), &k, &v, scale, None).unwrap())
+        b.iter(|| reference_attention(black_box(&q), &k, &v, scale, None).unwrap());
     });
     group.bench_function("recomposed_fused_t64", |b| {
-        b.iter(|| recomposed_attention(black_box(&q), &k, &v, 64, scale, None).unwrap())
+        b.iter(|| recomposed_attention(black_box(&q), &k, &v, 64, scale, None).unwrap());
     });
     group.finish();
 }
@@ -59,7 +59,7 @@ fn bench_backward(c: &mut Criterion) {
     let y = softmax_rows(&randn_matrix::<f32>(64, 1024, 2.0, 9));
     let dy = randn_matrix::<f32>(64, 1024, 1.0, 10);
     c.bench_function("softmax_backward_64x1024", |b| {
-        b.iter(|| softmax_backward(black_box(&y), black_box(&dy)))
+        b.iter(|| softmax_backward(black_box(&y), black_box(&dy)));
     });
 }
 
@@ -68,7 +68,7 @@ fn bench_tile_width_sweep(c: &mut Criterion) {
     let x: Matrix<f32> = randn_matrix(64, 4096, 2.0, 11);
     for t in [16usize, 64, 256, 1024] {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| decomposed_softmax(black_box(&x), t).unwrap())
+            b.iter(|| decomposed_softmax(black_box(&x), t).unwrap());
         });
     }
     group.finish();

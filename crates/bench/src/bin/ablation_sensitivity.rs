@@ -12,13 +12,14 @@ use resoftmax_gpusim::DeviceSpec;
 use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
 
 fn sdf_speedup(model: &ModelConfig, device: &DeviceSpec) -> f64 {
-    let base = run_inference(model, &RunParams::new(PAPER_SEQ_LEN), device.clone()).unwrap();
+    let base =
+        run_inference(model, &RunParams::new(PAPER_SEQ_LEN), device.clone()).expect("launchable");
     let sdf = run_inference(
         model,
         &RunParams::new(PAPER_SEQ_LEN).strategy(SoftmaxStrategy::Recomposed),
         device.clone(),
     )
-    .unwrap();
+    .expect("launchable");
     base.total_time_s() / sdf.total_time_s()
 }
 

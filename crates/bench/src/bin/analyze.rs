@@ -1,0 +1,119 @@
+//! Statically analyzes every schedule the evaluation suite builds —
+//! fusion legality, buffer dataflow, traffic conservation — and exits
+//! nonzero if any schedule has an error-severity finding. The CI gate for
+//! the schedule generator.
+//!
+//! ```text
+//! cargo run --release -p resoftmax-bench --bin analyze
+//! ```
+//!
+//! The grid mirrors `reproduce_all`: the evaluation models (plus the two
+//! extra presets) × the four softmax strategies × the Fig. 9 sequence
+//! lengths, the Fig. 7 library line-up at the paper's default length, and
+//! the Fig. 9 batch sweep.
+
+use resoftmax_analyzer::Severity;
+use resoftmax_bench::PAPER_SEQ_LEN;
+use resoftmax_model::{
+    build_schedule, check_schedule, LibraryProfile, ModelConfig, RunParams, SoftmaxStrategy,
+};
+
+const SEQ_LENS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
+const BATCHES: [usize; 4] = [1, 2, 4, 8];
+
+const STRATEGIES: [SoftmaxStrategy; 4] = [
+    SoftmaxStrategy::Baseline,
+    SoftmaxStrategy::Decomposed,
+    SoftmaxStrategy::Recomposed,
+    SoftmaxStrategy::OnlineFused,
+];
+
+fn models() -> Vec<ModelConfig> {
+    let mut m = ModelConfig::all_eval_models();
+    m.push(ModelConfig::bert_base());
+    m.push(ModelConfig::sparse_transformer());
+    m
+}
+
+struct Tally {
+    combos: usize,
+    kernels: usize,
+    errors: usize,
+    warnings: usize,
+}
+
+fn analyze_one(model: &ModelConfig, params: &RunParams, tally: &mut Tally) {
+    let kernels = build_schedule(model, params);
+    let report = check_schedule(model, params, &kernels);
+    tally.combos += 1;
+    tally.kernels += kernels.len();
+    tally.errors += report.count(Severity::Error);
+    tally.warnings += report.count(Severity::Warning);
+    if report.count(Severity::Error) + report.count(Severity::Warning) > 0 {
+        println!(
+            "{} / {} / L={} b={} / {}: {}",
+            model.name,
+            params.strategy.label(),
+            params.seq_len,
+            params.batch,
+            params.profile.name,
+            report.summary()
+        );
+        for d in &report.diagnostics {
+            if d.severity >= Severity::Warning {
+                println!("  {}", d.render());
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut tally = Tally {
+        combos: 0,
+        kernels: 0,
+        errors: 0,
+        warnings: 0,
+    };
+
+    // Strategy × sequence-length grid (Fig. 8/9), paper-baseline library.
+    for model in &models() {
+        for &strategy in &STRATEGIES {
+            for &seq_len in &SEQ_LENS {
+                let params = RunParams::new(seq_len).strategy(strategy);
+                analyze_one(model, &params, &mut tally);
+            }
+        }
+    }
+
+    // Library line-up (Fig. 7) at the paper's default length.
+    for model in &models() {
+        for profile in LibraryProfile::fig7_lineup() {
+            for &strategy in &STRATEGIES {
+                let params = RunParams::new(PAPER_SEQ_LEN)
+                    .strategy(strategy)
+                    .profile(profile.clone());
+                analyze_one(model, &params, &mut tally);
+            }
+        }
+    }
+
+    // Batch sweep (Fig. 9 right).
+    for model in &models() {
+        for &batch in &BATCHES {
+            for &strategy in &STRATEGIES {
+                let params = RunParams::new(PAPER_SEQ_LEN)
+                    .strategy(strategy)
+                    .batch(batch);
+                analyze_one(model, &params, &mut tally);
+            }
+        }
+    }
+
+    println!(
+        "analyzed {} schedules ({} kernels): {} errors, {} warnings",
+        tally.combos, tally.kernels, tally.errors, tally.warnings
+    );
+    if tally.errors > 0 {
+        std::process::exit(1);
+    }
+}

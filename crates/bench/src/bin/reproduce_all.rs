@@ -45,7 +45,7 @@ fn main() {
     );
 
     header("FIG 2: execution-time breakdown (A100, L=4096)");
-    let rows = fig2_breakdown(&a100, PAPER_SEQ_LEN).unwrap();
+    let rows = fig2_breakdown(&a100, PAPER_SEQ_LEN).expect("launchable");
     let t: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -63,7 +63,7 @@ fn main() {
     );
 
     header("FIG 5: LS/IR/GS shares (A100, L=4096, SD)");
-    let rows = fig5_sublayers(&a100, PAPER_SEQ_LEN).unwrap();
+    let rows = fig5_sublayers(&a100, PAPER_SEQ_LEN).expect("launchable");
     let t: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -78,7 +78,7 @@ fn main() {
     print!("{}", render_table(&["model", "LS", "IR", "GS"], &t));
 
     header("FIG 7: library comparison (A100, L=4096)");
-    let rows = fig7_libraries(&a100, PAPER_SEQ_LEN).unwrap();
+    let rows = fig7_libraries(&a100, PAPER_SEQ_LEN).expect("launchable");
     let t: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -92,7 +92,7 @@ fn main() {
     print!("{}", render_table(&["model", "library", "latency"], &t));
 
     header("FIG 8: SD / SDF vs baseline (A100, L=4096, batch 1)");
-    let rows = fig8_sd_sdf(&a100, PAPER_SEQ_LEN, 1).unwrap();
+    let rows = fig8_sd_sdf(&a100, PAPER_SEQ_LEN, 1).expect("launchable");
     let t: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -111,7 +111,7 @@ fn main() {
     );
 
     header("FIG 9(a): SDF speedup vs L (A100)");
-    let pts = fig9_seq_sweep(&a100, &[512, 1024, 2048, 4096, 8192]).unwrap();
+    let pts = fig9_seq_sweep(&a100, &[512, 1024, 2048, 4096, 8192]).expect("launchable");
     let t: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
@@ -125,7 +125,7 @@ fn main() {
     print!("{}", render_table(&["model", "L", "SDF"], &t));
 
     header("FIG 9(b): SDF speedup vs batch (A100, L=4096)");
-    let pts = fig9_batch_sweep(&a100, PAPER_SEQ_LEN, &[1, 2, 4, 8]).unwrap();
+    let pts = fig9_batch_sweep(&a100, PAPER_SEQ_LEN, &[1, 2, 4, 8]).expect("launchable");
     let t: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
@@ -139,7 +139,7 @@ fn main() {
     print!("{}", render_table(&["model", "batch", "SDF"], &t));
 
     header("§5.1: per-GPU SDF speedups (L=4096)");
-    let rows = gpu_speedup_matrix(PAPER_SEQ_LEN).unwrap();
+    let rows = gpu_speedup_matrix(PAPER_SEQ_LEN).expect("launchable");
     let t: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

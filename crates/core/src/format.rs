@@ -27,14 +27,14 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         cells
             .iter()
             .zip(&widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .map(|(c, w)| format!("{c:<w$}"))
             .collect::<Vec<_>>()
             .join("  ")
             .trim_end()
             .to_owned()
     };
     out.push_str(&fmt_row(
-        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &headers.iter().map(ToString::to_string).collect::<Vec<_>>(),
     ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
@@ -116,7 +116,7 @@ mod tests {
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert!(lines[0].starts_with("a"));
+        assert!(lines[0].starts_with('a'));
         assert!(lines[1].starts_with("---"));
         // columns align: the "1" and "2" start at the same offset
         let c1 = lines[2].find('1').unwrap();

@@ -202,7 +202,7 @@ mod tests {
             -65504.0,
             1234.5678,
             0.1,
-            3.141_592_7,
+            std::f32::consts::PI,
         ];
         for &x in interesting {
             let got = f16_bits_from_f32(x);

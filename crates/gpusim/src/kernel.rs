@@ -308,6 +308,53 @@ impl BufferUse {
     }
 }
 
+/// Structured metadata describing *how* a kernel's work was derived:
+/// tiling, logical dimensions, and fusion decisions.
+///
+/// The cost generators populate this alongside the opaque work figures so
+/// that downstream consumers (the static schedule analyzer in particular)
+/// can re-derive the analytic traffic/shape formulas and cross-check them
+/// against the declared [`TbSet`] and [`BufferUse`] numbers, instead of
+/// parsing kernel names. Every field is optional; [`KernelMeta::default`]
+/// (all `None`/`false`) means "no metadata" and is what hand-rolled
+/// descriptions get.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelMeta {
+    /// Output-tile rows `m` of a MatMul-style kernel.
+    pub tile_m: Option<usize>,
+    /// Output-tile width `n` of a MatMul-style kernel (the paper's `T` when
+    /// Local Softmax rides the epilogue).
+    pub tile_n: Option<usize>,
+    /// Softmax sub-vector length `T` governing the `m'`/`d'`/`r'`
+    /// intermediates (LS/IR/GS kernels and fused epilogues/prologues).
+    pub sub_vector: Option<usize>,
+    /// Logical row count: `L` for attention kernels, the full row count for
+    /// FC/LayerNorm kernels.
+    pub rows: Option<usize>,
+    /// Key/value-side length (attention-matrix columns).
+    pub kv_len: Option<usize>,
+    /// Per-head hidden size `D_head`.
+    pub d_head: Option<usize>,
+    /// Reduction depth of a MatMul (`d_in`).
+    pub d_in: Option<usize>,
+    /// Output width of a MatMul (`d_out`), or the row width of a LayerNorm.
+    pub d_out: Option<usize>,
+    /// Independent attention instances (`heads × batch`).
+    pub instances: Option<u64>,
+    /// Element count of an elementwise kernel.
+    pub elems: Option<u64>,
+    /// Number of operand streams an elementwise kernel reads per element.
+    pub input_streams: Option<usize>,
+    /// Scale + mask are fused into this kernel's epilogue.
+    pub fused_scale_mask: bool,
+    /// Local Softmax is fused into this kernel's epilogue (SDF `Q·Kᵀ`).
+    pub fused_ls: bool,
+    /// Global Scaling is fused into this kernel's prologue (SDF `P·V`).
+    pub fused_gs: bool,
+    /// Block-sparse kernels: the square block side.
+    pub sparse_block: Option<usize>,
+}
+
 /// Complete description of one kernel launch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelDesc {
@@ -325,6 +372,9 @@ pub struct KernelDesc {
     pub reads: Vec<BufferUse>,
     /// Buffers written.
     pub writes: Vec<BufferUse>,
+    /// Structured derivation metadata (tiling, dimensions, fusion flags)
+    /// for static analysis; [`KernelMeta::default`] when not provided.
+    pub meta: KernelMeta,
 }
 
 impl KernelDesc {
@@ -340,6 +390,7 @@ impl KernelDesc {
             },
             reads: Vec::new(),
             writes: Vec::new(),
+            meta: KernelMeta::default(),
         }
     }
 
@@ -365,6 +416,7 @@ pub struct KernelDescBuilder {
     tbs: TbSet,
     reads: Vec<BufferUse>,
     writes: Vec<BufferUse>,
+    meta: KernelMeta,
 }
 
 impl KernelDescBuilder {
@@ -404,6 +456,12 @@ impl KernelDescBuilder {
         self
     }
 
+    /// Attaches structured derivation metadata.
+    pub fn meta(&mut self, meta: KernelMeta) -> &mut Self {
+        self.meta = meta;
+        self
+    }
+
     /// Finishes the description.
     pub fn build(&self) -> KernelDesc {
         KernelDesc {
@@ -413,6 +471,7 @@ impl KernelDescBuilder {
             tbs: self.tbs.clone(),
             reads: self.reads.clone(),
             writes: self.writes.clone(),
+            meta: self.meta.clone(),
         }
     }
 }

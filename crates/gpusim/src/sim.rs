@@ -213,6 +213,8 @@ impl Gpu {
         read_scale: f64,
         occ: Occupancy,
     ) -> f64 {
+        const EPS: f64 = 1e-18;
+
         #[derive(Debug)]
         struct Active {
             count: f64,
@@ -236,7 +238,6 @@ impl Gpu {
         let mut active: Vec<Active> = Vec::new();
         let mut in_flight: u64 = 0;
         let mut now = 0.0f64;
-        const EPS: f64 = 1e-18;
 
         loop {
             // Refill free slots from the queue, splitting groups as needed.

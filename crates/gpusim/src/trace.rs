@@ -173,7 +173,7 @@ impl Breakdown {
 
     /// Total DRAM traffic over all categories.
     pub fn total_dram_bytes(&self) -> f64 {
-        self.categories.iter().map(|c| c.dram_bytes()).sum()
+        self.categories.iter().map(CategoryTotals::dram_bytes).sum()
     }
 
     /// Time attributed to one category (0 if absent).
@@ -190,7 +190,7 @@ impl Breakdown {
         self.categories
             .iter()
             .filter(|c| c.category == category)
-            .map(|c| c.dram_bytes())
+            .map(CategoryTotals::dram_bytes)
             .sum()
     }
 
@@ -208,7 +208,7 @@ impl Breakdown {
         self.categories
             .iter()
             .filter(|c| c.category.is_softmax_family())
-            .map(|c| c.dram_bytes())
+            .map(CategoryTotals::dram_bytes)
             .sum()
     }
 

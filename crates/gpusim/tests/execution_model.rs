@@ -298,7 +298,7 @@ fn cross_device_scaling() {
     let ta = a.launch(&mk()).unwrap().time_s;
     let tt = t.launch(&mk()).unwrap().time_s;
     let bw_ratio = 1555.0 / 320.0;
-    assert!(tt / ta > bw_ratio * 0.8, "T4 {} vs A100 {}", tt, ta);
+    assert!(tt / ta > bw_ratio * 0.8, "T4 {tt} vs A100 {ta}");
     assert!(tt / ta < bw_ratio * 1.6);
 }
 

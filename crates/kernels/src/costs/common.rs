@@ -3,7 +3,7 @@
 //! and LayerNorm.
 
 use super::{buf, EXP_FLOP_EQUIV, FP16_BYTES, MATMUL_ROOFLINE_EFFICIENCY, STREAM_EFFICIENCY};
-use resoftmax_gpusim::{KernelCategory, KernelDesc, TbShape, TbWork};
+use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, TbShape, TbWork};
 
 /// Cost of a fully-connected MatMul: `[rows × d_in] · [d_in × d_out]`
 /// (weights stationary), with optional fused bias+activation epilogue.
@@ -11,7 +11,6 @@ use resoftmax_gpusim::{KernelCategory, KernelDesc, TbShape, TbWork};
 /// `rows` is typically `L × batch` (heads are not split for FC layers).
 // Flat scalar parameters mirror the kernel's launch signature; a params
 // struct would only rename them.
-#[allow(clippy::too_many_arguments)]
 pub fn fc(
     rows: usize,
     d_in: usize,
@@ -48,6 +47,14 @@ pub fn fc(
     KernelDesc::builder(format!("fc({rows}x{d_in}->{d_out})"), category)
         .shape(TbShape::new(256, 16 * 1024, 128))
         .uniform(grid, work)
+        .meta(KernelMeta {
+            tile_m: Some(tm),
+            tile_n: Some(tn),
+            rows: Some(rows),
+            d_in: Some(d_in),
+            d_out: Some(d_out),
+            ..KernelMeta::default()
+        })
         .reads(buf(prefix, input), in_once)
         .reads(buf(prefix, &format!("{output}.w")), w_once)
         .writes(buf(prefix, output), out_bytes)
@@ -59,7 +66,6 @@ pub fn fc(
 ///
 /// Used for the *unfused* library profiles (HuggingFace runs scale, mask,
 /// bias and activation as separate kernels, Fig. 7).
-#[allow(clippy::too_many_arguments)]
 pub fn elementwise(
     elems: u64,
     flops_per_elem: f64,
@@ -81,7 +87,13 @@ pub fn elementwise(
         efficiency: STREAM_EFFICIENCY,
     };
     let mut b = KernelDesc::builder(name, category);
-    b.shape(TbShape::new(256, 0, 24)).uniform(grid, work);
+    b.shape(TbShape::new(256, 0, 24))
+        .uniform(grid, work)
+        .meta(KernelMeta {
+            elems: Some(elems),
+            input_streams: Some(reads_per_elem),
+            ..KernelMeta::default()
+        });
     for input in inputs {
         b.reads(buf(prefix, input), elems * FP16_BYTES as u64);
     }
@@ -109,6 +121,11 @@ pub fn layernorm(rows: usize, d: usize, prefix: &str, input: &str, output: &str)
             32,
         ))
         .uniform(rows as u64, work)
+        .meta(KernelMeta {
+            rows: Some(rows),
+            d_out: Some(d),
+            ..KernelMeta::default()
+        })
         .reads(buf(prefix, input), (rows * d * FP16_BYTES) as u64)
         .writes(buf(prefix, output), (rows * d * FP16_BYTES) as u64)
         .build()

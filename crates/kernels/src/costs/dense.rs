@@ -5,7 +5,18 @@ use super::{
     GS_PROLOGUE_EFFICIENCY, MATMUL_ROOFLINE_EFFICIENCY, SOFTMAX_PHASE_EFFICIENCY,
     STREAM_EFFICIENCY,
 };
-use resoftmax_gpusim::{KernelCategory, KernelDesc, TbShape, TbWork};
+use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, TbShape, TbWork};
+
+/// Base metadata shared by every dense attention kernel.
+fn attn_meta(dims: &AttnDims) -> KernelMeta {
+    KernelMeta {
+        rows: Some(dims.l),
+        kv_len: Some(dims.kv_len),
+        d_head: Some(dims.d_head),
+        instances: Some(dims.instances()),
+        ..KernelMeta::default()
+    }
+}
 
 /// What the `Q·Kᵀ` MatMul's epilogue computes in addition to the MMA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +103,14 @@ pub fn matmul_qk(
     );
     b.shape(TbShape::new(256, 16 * 1024, 128))
         .uniform(grid, work)
+        .meta(KernelMeta {
+            tile_m: Some(tile.m),
+            tile_n: Some(tile.n),
+            sub_vector: matches!(epilogue, QkEpilogue::ScaleMaskLocalSoftmax).then_some(tile.n),
+            fused_scale_mask: !matches!(epilogue, QkEpilogue::None),
+            fused_ls: matches!(epilogue, QkEpilogue::ScaleMaskLocalSoftmax),
+            ..attn_meta(dims)
+        })
         .reads(buf(prefix, "q"), q_once)
         .reads(buf(prefix, "k"), k_once);
     match epilogue {
@@ -157,6 +176,13 @@ pub fn matmul_pv(
     );
     b.shape(TbShape::new(256, 16 * 1024, 128))
         .uniform(grid, work)
+        .meta(KernelMeta {
+            tile_m: Some(tile.m),
+            tile_n: Some(n),
+            sub_vector: matches!(prologue, PvPrologue::GlobalScaling).then_some(tile.n),
+            fused_gs: matches!(prologue, PvPrologue::GlobalScaling),
+            ..attn_meta(dims)
+        })
         .reads(buf(prefix, p_buf), dims.attn_bytes())
         .reads(buf(prefix, "v"), v_once)
         .writes(buf(prefix, "attn_out"), dims.qkv_bytes());
@@ -189,6 +215,7 @@ pub fn softmax_monolithic(dims: &AttnDims, prefix: &str, input: &str) -> KernelD
     KernelDesc::builder(format!("softmax(L={})", dims.l), KernelCategory::Softmax)
         .shape(TbShape::new(threads, (dims.kv_len * FP16_BYTES) as u32, 40))
         .uniform(rows, work)
+        .meta(attn_meta(dims))
         .reads(buf(prefix, input), dims.attn_bytes())
         .writes(buf(prefix, "probs"), dims.attn_bytes())
         .build()
@@ -214,6 +241,10 @@ pub fn local_softmax(dims: &AttnDims, t: usize, prefix: &str, input: &str) -> Ke
     )
     .shape(TbShape::new(256, (t * t * FP16_BYTES) as u32, 40))
     .uniform(tiles, work)
+    .meta(KernelMeta {
+        sub_vector: Some(t),
+        ..attn_meta(dims)
+    })
     .reads(buf(prefix, input), dims.attn_bytes())
     .writes(buf(prefix, "x_prime"), dims.attn_bytes())
     .writes(buf(prefix, "m_prime"), dims.intermediate_bytes(t))
@@ -249,6 +280,10 @@ pub fn inter_reduction(dims: &AttnDims, t: usize, prefix: &str) -> KernelDesc {
         32,
     ))
     .uniform(grid, work)
+    .meta(KernelMeta {
+        sub_vector: Some(t),
+        ..attn_meta(dims)
+    })
     .reads(buf(prefix, "m_prime"), dims.intermediate_bytes(t))
     .reads(buf(prefix, "d_prime"), dims.intermediate_bytes(t))
     .writes(buf(prefix, "r_prime"), dims.intermediate_bytes(t))
@@ -275,6 +310,10 @@ pub fn global_scaling(dims: &AttnDims, t: usize, prefix: &str) -> KernelDesc {
     )
     .shape(TbShape::new(256, 0, 24))
     .uniform(grid, work)
+    .meta(KernelMeta {
+        sub_vector: Some(t),
+        ..attn_meta(dims)
+    })
     .reads(buf(prefix, "x_prime"), dims.attn_bytes())
     .reads(buf(prefix, "r_prime"), dims.intermediate_bytes(t))
     .writes(buf(prefix, "probs"), dims.attn_bytes())
@@ -315,6 +354,11 @@ pub fn fused_mha_online(dims: &AttnDims, tile: TileConfig, prefix: &str) -> Kern
     // the smallest evaluation GPU's 48 KB of usable shared memory.
     .shape(TbShape::new(256, 32 * 1024, 120))
     .uniform(grid, work)
+    .meta(KernelMeta {
+        tile_m: Some(tile.m),
+        tile_n: Some(tile.n),
+        ..attn_meta(dims)
+    })
     .reads(buf(prefix, "q"), q_once)
     .reads(buf(prefix, "k"), k_once)
     .reads(buf(prefix, "v"), v_once)

@@ -18,8 +18,20 @@ use super::{
     MATMUL_ROOFLINE_EFFICIENCY, SOFTMAX_PHASE_EFFICIENCY, SPARSE_GATHER_EFFICIENCY,
     STREAM_EFFICIENCY,
 };
-use resoftmax_gpusim::{KernelCategory, KernelDesc, TbGroup, TbShape, TbWork};
+use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, TbGroup, TbShape, TbWork};
 use resoftmax_sparse::BlockLayout;
+
+/// Base metadata shared by every block-sparse attention kernel.
+fn bs_meta(layout: &BlockLayout, dims: &AttnDims) -> KernelMeta {
+    KernelMeta {
+        rows: Some(dims.l),
+        kv_len: Some(dims.kv_len),
+        d_head: Some(dims.d_head),
+        instances: Some(dims.instances()),
+        sparse_block: Some(layout.block()),
+        ..KernelMeta::default()
+    }
+}
 
 fn nnz_bytes(layout: &BlockLayout, dims: &AttnDims) -> u64 {
     (layout.nnz_elements() * FP16_BYTES) as u64 * dims.instances()
@@ -83,6 +95,14 @@ pub fn bs_matmul_qk(
     builder
         .shape(TbShape::new(256, 16 * 1024, 128))
         .uniform(grid, work)
+        .meta(KernelMeta {
+            tile_m: Some(b),
+            tile_n: Some(b),
+            sub_vector: matches!(epilogue, BsQkEpilogue::ScaleMaskLocalSoftmax).then_some(b),
+            fused_scale_mask: true,
+            fused_ls: matches!(epilogue, BsQkEpilogue::ScaleMaskLocalSoftmax),
+            ..bs_meta(layout, dims)
+        })
         .reads(buf(prefix, "q"), q_once)
         .reads(buf(prefix, "k"), k_once);
     match epilogue {
@@ -138,6 +158,7 @@ pub fn bs_softmax_baseline(layout: &BlockLayout, dims: &AttnDims, prefix: &str) 
         40,
     ))
     .grouped(groups)
+    .meta(bs_meta(layout, dims))
     .reads(buf(prefix, "scores"), nnz_bytes(layout, dims))
     .writes(buf(prefix, "probs"), nnz_bytes(layout, dims))
     .build()
@@ -164,6 +185,10 @@ pub fn bs_local_softmax(layout: &BlockLayout, dims: &AttnDims, prefix: &str) -> 
     )
     .shape(TbShape::new(256, (b * b * FP16_BYTES) as u32, 40))
     .uniform(grid, work)
+    .meta(KernelMeta {
+        sub_vector: Some(b),
+        ..bs_meta(layout, dims)
+    })
     .reads(buf(prefix, "scores"), nnz_bytes(layout, dims))
     .writes(buf(prefix, "x_prime"), nnz_bytes(layout, dims))
     .writes(buf(prefix, "m_prime"), intermediate_nnz_bytes(layout, dims))
@@ -198,6 +223,10 @@ pub fn bs_inter_reduction(layout: &BlockLayout, dims: &AttnDims, prefix: &str) -
     )
     .shape(TbShape::new(128, 4096, 32))
     .grouped(groups)
+    .meta(KernelMeta {
+        sub_vector: Some(b),
+        ..bs_meta(layout, dims)
+    })
     .reads(buf(prefix, "m_prime"), intermediate_nnz_bytes(layout, dims))
     .reads(buf(prefix, "d_prime"), intermediate_nnz_bytes(layout, dims))
     .writes(buf(prefix, "r_prime"), intermediate_nnz_bytes(layout, dims))
@@ -223,6 +252,10 @@ pub fn bs_global_scaling(layout: &BlockLayout, dims: &AttnDims, prefix: &str) ->
     )
     .shape(TbShape::new(256, 0, 24))
     .uniform(grid, work)
+    .meta(KernelMeta {
+        sub_vector: Some(b),
+        ..bs_meta(layout, dims)
+    })
     .reads(buf(prefix, "x_prime"), nnz_bytes(layout, dims))
     .reads(buf(prefix, "r_prime"), intermediate_nnz_bytes(layout, dims))
     .writes(buf(prefix, "probs"), nnz_bytes(layout, dims))
@@ -288,6 +321,13 @@ pub fn bs_matmul_pv(
     builder
         .shape(TbShape::new(256, 16 * 1024, 128))
         .grouped(groups)
+        .meta(KernelMeta {
+            tile_m: Some(b),
+            tile_n: Some(dims.d_head),
+            sub_vector: gs.then_some(b),
+            fused_gs: gs,
+            ..bs_meta(layout, dims)
+        })
         .reads(buf(prefix, p_buf), nnz_bytes(layout, dims))
         .reads(buf(prefix, "v"), v_once)
         .writes(buf(prefix, "attn_out"), dims.qkv_bytes());
@@ -330,6 +370,7 @@ pub fn bs_fused_mha_online(layout: &BlockLayout, dims: &AttnDims, prefix: &str) 
     )
     .shape(TbShape::new(256, 32 * 1024, 120))
     .grouped(groups)
+    .meta(bs_meta(layout, dims))
     .reads(buf(prefix, "q"), q_once)
     .reads(buf(prefix, "k"), k_once)
     .reads(buf(prefix, "v"), v_once)
@@ -409,7 +450,7 @@ mod tests {
         let pv = bs_matmul_pv(&layout, &dims, "l0", BsPvPrologue::None);
         if let resoftmax_gpusim::TbSet::Grouped(groups) = &pv.tbs {
             let works: Vec<f64> = groups.iter().map(|g| g.work.tensor_flops).collect();
-            let max = works.iter().cloned().fold(0.0, f64::max);
+            let max = works.iter().copied().fold(0.0, f64::max);
             let mean = works.iter().sum::<f64>() / works.len() as f64;
             assert!(
                 max > 3.0 * mean,

@@ -22,7 +22,6 @@ fn nnz_bytes(layout: &BlockLayout, dims: &AttnDims) -> u64 {
 /// Block-sparse backward MatMul over one attention plane (`dV = Pᵀ·dOut` or
 /// `dQ`/`dK` from `dS`): one thread block per block-row, work proportional
 /// to the row's retained blocks.
-#[allow(clippy::too_many_arguments)]
 fn bs_plane_matmul(
     layout: &BlockLayout,
     dims: &AttnDims,

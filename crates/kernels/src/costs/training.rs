@@ -32,7 +32,6 @@ use resoftmax_gpusim::{KernelCategory, KernelDesc, TbShape, TbWork};
 
 /// Common shape for backward MatMuls whose large operand is one attention
 /// plane (read or written) and whose other operands are `L × D_head`.
-#[allow(clippy::too_many_arguments)]
 fn attn_plane_matmul(
     dims: &AttnDims,
     tile: TileConfig,

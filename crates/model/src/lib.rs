@@ -44,7 +44,7 @@ pub use config::{AttentionKind, ModelConfig};
 pub use decode::{build_decode_schedule, run_decode_step};
 pub use engine::{run_inference, RunReport};
 pub use library::{LibraryProfile, SparseSupport};
-pub use schedule::{build_schedule, RunParams, SoftmaxStrategy};
+pub use schedule::{analysis_spec, build_schedule, check_schedule, RunParams, SoftmaxStrategy};
 pub use seq2seq::{build_seq2seq_schedule, run_seq2seq, Seq2SeqConfig};
 pub use training::{build_training_schedule, run_training_iteration};
 pub use workload::{Document, Workload, WorkloadConfig};

@@ -12,9 +12,14 @@
 
 use crate::config::ModelConfig;
 use crate::library::{LibraryProfile, SparseSupport};
+use resoftmax_analyzer::{ScheduleSpec, SparseSpec, StrategyKind};
 use resoftmax_gpusim::{KernelCategory, KernelDesc, TbSet};
 use resoftmax_kernels::costs::{common, dense, sparse, AttnDims, TileConfig};
 use serde::{Deserialize, Serialize};
+
+/// Work multiplier gather/scatter-based sparse implementations pay on every
+/// attention kernel (the data moves an extra time through gather indices).
+const GATHER_PENALTY: f64 = 2.0;
 
 /// The paper's softmax configurations (§5.1), plus the online-softmax
 /// extension (§7 pointer, later known as FlashAttention).
@@ -166,7 +171,75 @@ pub fn build_schedule(model: &ModelConfig, params: &RunParams) -> Vec<KernelDesc
         };
         scale_work(k, factor);
     }
+
+    // Debug builds statically verify every schedule they hand out: fusion
+    // legality, buffer dataflow, and traffic conservation (release builds
+    // skip the pass; `resoftmax-bench`'s `analyze` binary covers CI).
+    #[cfg(debug_assertions)]
+    {
+        let report = check_schedule(model, params, &kernels);
+        debug_assert!(
+            !report.has_errors(),
+            "build_schedule produced a schedule that fails static analysis:\n{}",
+            report.render()
+        );
+    }
     kernels
+}
+
+/// Flattens a model/run-parameter pair into the analyzer's
+/// [`ScheduleSpec`] — the exact dimensions, strategy, overheads and sparse
+/// layout that [`build_schedule`] bakes into its kernels.
+pub fn analysis_spec(model: &ModelConfig, params: &RunParams) -> ScheduleSpec {
+    let profile = &params.profile;
+    let use_sparse = model.attention.is_sparse()
+        && !matches!(profile.sparse_support, SparseSupport::DenseFallback);
+    let sparse = use_sparse.then(|| {
+        let layout = model.attention.layout(params.seq_len);
+        SparseSpec {
+            block: layout.block(),
+            n_blocks: layout.n_blocks(),
+            nnz_blocks: layout.nnz_blocks(),
+            row_counts: layout.row_counts(),
+        }
+    });
+    let attention_overhead = match (use_sparse, profile.sparse_support) {
+        (true, SparseSupport::GatherBased) => GATHER_PENALTY,
+        _ => 1.0,
+    };
+    ScheduleSpec {
+        seq_len: params.seq_len,
+        batch: params.batch,
+        heads: model.heads,
+        d_model: model.d_model,
+        d_ff: model.d_ff,
+        layers: model.layers,
+        strategy: match params.strategy {
+            SoftmaxStrategy::Baseline => StrategyKind::Baseline,
+            SoftmaxStrategy::Decomposed => StrategyKind::Decomposed,
+            SoftmaxStrategy::Recomposed => StrategyKind::Recomposed,
+            SoftmaxStrategy::OnlineFused => StrategyKind::OnlineFused,
+        },
+        tile_m: params.tile.m,
+        tile_n: params.tile.n,
+        softmax_overhead: profile.softmax_overhead,
+        matmul_overhead: profile.matmul_overhead,
+        attention_overhead,
+        separate_scale_mask: profile.separate_scale_mask,
+        separate_elementwise: profile.separate_elementwise,
+        sparse,
+    }
+}
+
+/// Statically analyzes a schedule against the spec implied by
+/// `(model, params)`, returning the full diagnostic report.
+pub fn check_schedule(
+    model: &ModelConfig,
+    params: &RunParams,
+    kernels: &[KernelDesc],
+) -> resoftmax_analyzer::Report {
+    let spec = analysis_spec(model, params);
+    resoftmax_analyzer::Report::new(resoftmax_analyzer::analyze(&spec, kernels))
 }
 
 fn build_layer(
@@ -308,7 +381,7 @@ fn build_attention(
         // Gather-based implementations move the data an extra time around
         // every attention kernel.
         let gather_penalty = match profile.sparse_support {
-            SparseSupport::GatherBased => 2.0,
+            SparseSupport::GatherBased => GATHER_PENALTY,
             _ => 1.0,
         };
         let start = kernels.len();
@@ -546,7 +619,7 @@ mod tests {
             &bert(),
             &RunParams::new(4096).profile(LibraryProfile::autotvm()),
         );
-        let flops = |ks: &[KernelDesc]| -> f64 { ks.iter().map(|k| k.total_flops()).sum() };
+        let flops = |ks: &[KernelDesc]| -> f64 { ks.iter().map(KernelDesc::total_flops).sum() };
         assert!(flops(&tvm) > 1.3 * flops(&ours));
     }
 

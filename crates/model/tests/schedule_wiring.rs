@@ -168,7 +168,7 @@ fn library_profiles_all_launch() {
 #[test]
 fn traffic_is_positive_and_finite_everywhere() {
     for (label, ks) in all_inference_schedules() {
-        let total: f64 = ks.iter().map(|k| k.total_dram_bytes()).sum();
+        let total: f64 = ks.iter().map(KernelDesc::total_dram_bytes).sum();
         assert!(total.is_finite() && total > 0.0, "{label}: traffic {total}");
         for k in &ks {
             assert!(

@@ -14,7 +14,7 @@ use resoftmax::prelude::*;
 
 fn scaled_a100(name: &str, compute: f64, bandwidth: f64) -> DeviceSpec {
     let mut d = DeviceSpec::a100();
-    d.name = name.to_owned();
+    name.clone_into(&mut d.name);
     d.fp16_cuda_tflops *= compute;
     d.fp16_tensor_tflops *= compute;
     d.mem_bandwidth_gbps *= bandwidth;

@@ -69,10 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .strategy(SoftmaxStrategy::Recomposed),
         device,
     )?;
-    println!(
-        "\ncorpus sweep ({} iterations of batch {batch}, Longformer-large, L=4096):",
-        iters
-    );
+    println!("\ncorpus sweep ({iters} iterations of batch {batch}, Longformer-large, L=4096):");
     println!(
         "  baseline  {:.1} s   recomposed {:.1} s   ({:.2}x, {:.1} GB less off-chip traffic per pass)",
         base.total_time_s() * iters as f64,

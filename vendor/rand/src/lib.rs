@@ -1,0 +1,219 @@
+//! Offline vendored substitute for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the rand 0.8 API this workspace uses:
+//! [`SeedableRng::seed_from_u64`], [`distributions::Uniform`] sampling via
+//! [`distributions::Distribution`], and [`seq::SliceRandom::choose_multiple`].
+//! The repo's tests assert statistical tolerances and self-consistency, not
+//! golden values, so matching rand's exact output streams is not required —
+//! only determinism in the seed and reasonable distribution quality.
+
+/// Core random-number source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience extension over [`RngCore`] (blanket-implemented).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: distributions::SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_uniform(range.start, range.end, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod distributions {
+    //! Sampling distributions (uniform only).
+
+    use super::RngCore;
+
+    /// Types that can draw samples of `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<X> {
+        low: X,
+        high: X,
+    }
+
+    impl<X: SampleUniform> Uniform<X> {
+        /// Creates a uniform distribution over `[low, high)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty, matching rand 0.8.
+        pub fn new(low: X, high: X) -> Uniform<X> {
+            assert!(low.lt(&high), "Uniform::new called with low >= high");
+            Uniform { low, high }
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+            X::sample_uniform(self.low, self.high, rng)
+        }
+    }
+
+    /// Scalars that support uniform range sampling.
+    pub trait SampleUniform: Copy {
+        /// Draws a uniform sample from `[low, high)`.
+        fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Strict ordering used for range validation.
+        fn lt(&self, other: &Self) -> bool;
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            // 53 uniform mantissa bits in [0, 1).
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            low + unit * (high - low)
+        }
+        fn lt(&self, other: &Self) -> bool {
+            self < other
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            low + unit * (high - low)
+        }
+        fn lt(&self, other: &Self) -> bool {
+            self < other
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    // Modulo bias is ≤ span/2^64: negligible for the spans in
+                    // this workspace (all far below 2^32).
+                    let span = (high as i128 - low as i128) as u128;
+                    low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+                fn lt(&self, other: &Self) -> bool {
+                    self < other
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod seq {
+    //! Sequence-related sampling helpers.
+
+    use super::{distributions::SampleUniform, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Chooses `amount` distinct elements uniformly without replacement
+        /// (all of them, in random order, when `amount >= len`).
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index table.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = usize::sample_uniform(i, idx.len(), rng);
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::seq::SliceRandom;
+    use super::RngCore;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn uniform_f64_in_range() {
+        let d = Uniform::new(-2.0f64, 3.0);
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "low >= high")]
+    fn empty_uniform_panics() {
+        let _ = Uniform::new(1.0f64, 1.0);
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_subset() {
+        let items: Vec<usize> = (0..20).collect();
+        let mut rng = Counter(3);
+        let picked: Vec<usize> = items.choose_multiple(&mut rng, 5).copied().collect();
+        assert_eq!(picked.len(), 5);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "duplicates in {picked:?}");
+        assert!(picked.iter().all(|x| items.contains(x)));
+    }
+
+    #[test]
+    fn choose_multiple_clamps_to_len() {
+        let items = [1, 2, 3];
+        let mut rng = Counter(9);
+        assert_eq!(items.choose_multiple(&mut rng, 10).count(), 3);
+    }
+}

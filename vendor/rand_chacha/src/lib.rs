@@ -1,0 +1,75 @@
+//! Offline vendored substitute for `rand_chacha` (see `vendor/README.md`).
+//!
+//! Provides [`ChaCha8Rng`] with the construction path this workspace uses
+//! (`SeedableRng::seed_from_u64`). The workspace needs a *deterministic,
+//! statistically sound* stream — nothing depends on matching the real
+//! ChaCha8 keystream — so the core is SplitMix64, which passes the
+//! moment/tolerance checks in the test suite while staying dependency-free.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable RNG (stand-in for the real ChaCha8 stream cipher).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    state: u64,
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix so that small seeds (0, 1, 2, ...) land in distant states.
+        let mut rng = ChaCha8Rng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        rng.next_u64();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood 2014).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = ChaCha8Rng::seed_from_u64(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = ChaCha8Rng::seed_from_u64(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        let total = 1024 * 64;
+        let frac = f64::from(ones) / f64::from(total);
+        assert!((frac - 0.5).abs() < 0.01, "bit balance {frac}");
+    }
+}

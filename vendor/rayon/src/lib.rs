@@ -1,0 +1,52 @@
+//! Offline vendored substitute for `rayon` (see `vendor/README.md`).
+//!
+//! The workspace uses rayon only as a drop-in data-parallel iterator over
+//! row chunks (`par_chunks_mut(..).enumerate().for_each(..)`), always with
+//! order-independent bodies. This substitute returns the standard
+//! sequential iterators, which satisfy the same contract (every chunk
+//! visited exactly once) minus the parallel speedup — acceptable in the
+//! hermetic build, where correctness tests, not wall-clock, are the gate.
+
+pub mod prelude {
+    //! Rayon's one-stop import, re-exporting the slice traits.
+    pub use crate::slice::ParallelSliceMut;
+}
+
+pub mod slice {
+    //! Parallel operations on slices (sequential fallbacks).
+
+    /// Mutable slice chunking with rayon's method names.
+    pub trait ParallelSliceMut<T> {
+        /// Yields non-overlapping mutable chunks of length `chunk_size`
+        /// (last may be shorter). Sequential stand-in for rayon's
+        /// `ParChunksMut`; `std::slice::ChunksMut` offers the same
+        /// `enumerate`/`for_each` combinators through `Iterator`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `chunk_size` is zero (as both std and rayon do).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0u32; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x += 1 + i as u32;
+            }
+        });
+        assert_eq!(data, [1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline vendored substitute for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored serde's value-tree data model, without `syn`/`quote`: the item
+//! is parsed by hand from the raw token stream. Supported item shapes are
+//! exactly those this workspace uses — non-generic structs (named, tuple,
+//! unit) and non-generic enums with unit, tuple and struct variants — and
+//! the encoding matches serde's defaults (externally tagged enums,
+//! transparent newtypes), so JSON produced here round-trips like the real
+//! thing. Unsupported shapes (generics, unions, `#[serde(...)]` attributes)
+//! fail the build with a clear message instead of miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of the item being derived.
+enum Item {
+    /// `struct S { f1: T1, ... }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T1, ...);` — a count is all the codegen needs.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { A, B(T), C { f: T } }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive substitute generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consumes attributes (`#[...]`, including expanded doc comments) from the
+/// front of `toks` at position `i`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1;
+        }
+    }
+}
+
+/// Consumes a `pub` / `pub(crate)` / `pub(in ...)` visibility qualifier.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive does not support generic types ({name})"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            None => Ok(Item::UnitStruct { name }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            other => Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body for {name}: {other:?}")),
+        },
+        other => Err(format!(
+            "vendored serde_derive supports only structs and enums, found `{other}`"
+        )),
+    }
+}
+
+/// Extracts field names from `f1: T1, f2: T2, ...` (types are skipped with
+/// angle-bracket depth tracking; the codegen never needs them).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while let Some(t) = toks.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "vendored serde_derive does not support explicit discriminants ({name})"
+                ))
+            }
+            None => {}
+            other => return Err(format!("expected `,` after variant, found {other:?}")),
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{\n    serde::Value::Object(vec![{}])\n  }}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            // Newtype structs are transparent, as in real serde.
+            "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{\n    serde::Serialize::to_value(&self.0)\n  }}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{\n    serde::Value::Array(vec![{}])\n  }}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(x0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(x{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n  fn to_value(&self) -> serde::Value {{\n    match self {{\n      {}\n    }}\n  }}\n}}",
+                arms.join(",\n      ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::field(obj, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n  fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n    let obj = v.as_object().ok_or_else(|| serde::DeError::new(\"expected object for {name}\"))?;\n    Ok({name} {{ {} }})\n  }}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Deserialize for {name} {{\n  fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n    Ok({name}(serde::Deserialize::from_value(v)?))\n  }}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|k| format!("serde::Deserialize::from_value(&arr[{k}])?"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n  fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n    let arr = v.as_array().ok_or_else(|| serde::DeError::new(\"expected array for {name}\"))?;\n    if arr.len() != {arity} {{ return Err(serde::DeError::new(\"wrong tuple arity for {name}\")); }}\n    Ok({name}({}))\n  }}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n  fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {{ Ok({name}) }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0})", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(serde::Deserialize::from_value(payload)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&arr[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let arr = payload.as_array().ok_or_else(|| serde::DeError::new(\"expected array payload for {name}::{vn}\"))?; if arr.len() != {n} {{ return Err(serde::DeError::new(\"wrong arity for {name}::{vn}\")); }} return Ok({name}::{vn}({})); }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: serde::Deserialize::from_value(serde::field(obj, \"{f}\")?)?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let obj = payload.as_object().ok_or_else(|| serde::DeError::new(\"expected object payload for {name}::{vn}\"))?; return Ok({name}::{vn} {{ {} }}); }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n  fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n    if let Some(s) = v.as_str() {{\n      match s {{\n        {unit}\n        ,_ => return Err(serde::DeError::new(format!(\"unknown unit variant `{{s}}` for {name}\")))\n      }}\n    }}\n    if let Some(obj_outer) = v.as_object() {{\n      if obj_outer.len() == 1 {{\n        let (tag, payload) = &obj_outer[0];\n        match tag.as_str() {{\n          {tagged}\n          ,_ => return Err(serde::DeError::new(format!(\"unknown variant `{{tag}}` for {name}\")))\n        }}\n      }}\n    }}\n    Err(serde::DeError::new(\"expected externally tagged enum for {name}\"))\n  }}\n}}",
+                unit = if unit_arms.is_empty() {
+                    "_ => return Err(serde::DeError::new(\"no unit variants\"))".to_string()
+                } else {
+                    unit_arms.join(",\n        ")
+                },
+                tagged = if tagged_arms.is_empty() {
+                    "_ => return Err(serde::DeError::new(\"no tagged variants\"))".to_string()
+                } else {
+                    tagged_arms.join(",\n          ")
+                },
+            )
+        }
+    }
+}
