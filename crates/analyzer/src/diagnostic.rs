@@ -53,6 +53,10 @@ pub enum Rule {
     TrafficFormula,
     /// Per-buffer traffic attribution exceeds the declared DRAM totals.
     TrafficAttribution,
+    /// A kernel's declared parallel split crosses one of its reduction axes,
+    /// so partial results would combine in a parallelism-dependent order and
+    /// the bit-exactness contract of the runtime would not hold.
+    ParallelSplitReduction,
 }
 
 impl Rule {
@@ -68,6 +72,7 @@ impl Rule {
             Rule::DataflowShape => "dataflow/shape",
             Rule::TrafficFormula => "traffic/formula",
             Rule::TrafficAttribution => "traffic/attribution",
+            Rule::ParallelSplitReduction => "parallel/split-reduction",
         }
     }
 }

@@ -27,6 +27,10 @@
 //!   byte totals must match the analytic formula implied by its category and
 //!   shape metadata (within tolerance), and per-buffer traffic attribution
 //!   must not exceed the DRAM totals.
+//! * **Parallel-split legality** ([`parallel`]): a kernel's declared
+//!   [`ParallelSplit`](resoftmax_gpusim::ParallelSplit) must not cross the
+//!   reduction axis its category implies, or results would depend on the
+//!   degree of parallelism.
 //!
 //! The entry point is [`analyze`]; inputs are the schedule plus a
 //! [`ScheduleSpec`] describing the run (dimensions, strategy, library
@@ -42,6 +46,7 @@ pub mod dataflow;
 pub mod diagnostic;
 pub mod fsm;
 pub mod fusion;
+pub mod parallel;
 pub mod report;
 pub mod spec;
 pub mod traffic;
@@ -62,6 +67,7 @@ pub fn analyze(spec: &ScheduleSpec, kernels: &[KernelDesc]) -> Vec<Diagnostic> {
     fusion::check(spec, kernels, &mut diags);
     dataflow::check(spec, kernels, &mut diags);
     traffic::check(spec, kernels, &mut diags);
+    parallel::check(kernels, &mut diags);
     diags.sort_by_key(|d| {
         (
             std::cmp::Reverse(d.severity),

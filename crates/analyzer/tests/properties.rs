@@ -10,7 +10,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use resoftmax_analyzer::{analyze, ScheduleSpec, SparseSpec, StrategyKind};
-use resoftmax_gpusim::{BufferUse, KernelCategory, KernelDesc, KernelMeta, TbSet, TbShape, TbWork};
+use resoftmax_gpusim::{
+    BufferUse, KernelCategory, KernelDesc, KernelMeta, ParallelSplit, TbSet, TbShape, TbWork,
+};
 
 const CATEGORIES: [KernelCategory; 14] = [
     KernelCategory::MatMulQk,
@@ -56,12 +58,24 @@ fn any_dim() -> impl Strategy<Value = Option<usize>> {
     ]
 }
 
+fn any_split() -> impl Strategy<Value = Option<ParallelSplit>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(ParallelSplit::OutputRows)),
+        Just(Some(ParallelSplit::OutputTiles)),
+        Just(Some(ParallelSplit::Elements)),
+        Just(Some(ParallelSplit::RowSegments)),
+        Just(Some(ParallelSplit::ReductionAxis)),
+    ]
+}
+
 fn any_meta() -> impl Strategy<Value = KernelMeta> {
     (
         (any_dim(), any_dim(), any_dim(), any_dim(), any_dim()),
         (any_dim(), any_dim(), any_dim()),
         (0u64..=64, 0u64..=1_000_000, 0usize..=4),
         (any::<bool>(), any::<bool>(), any::<bool>(), any_dim()),
+        any_split(),
     )
         .prop_map(
             |(
@@ -69,6 +83,7 @@ fn any_meta() -> impl Strategy<Value = KernelMeta> {
                 (d_head, d_in, d_out),
                 (instances, elems, input_streams),
                 (fused_scale_mask, fused_ls, fused_gs, sparse_block),
+                split,
             )| KernelMeta {
                 tile_m,
                 tile_n,
@@ -85,6 +100,7 @@ fn any_meta() -> impl Strategy<Value = KernelMeta> {
                 fused_ls,
                 fused_gs,
                 sparse_block,
+                split,
             },
         )
 }

@@ -7,50 +7,33 @@
 //! cargo run --release -p resoftmax-bench --bin analyze
 //! ```
 //!
-//! The grid mirrors `reproduce_all`: the evaluation models (plus the two
-//! extra presets) × the four softmax strategies × the Fig. 9 sequence
-//! lengths, the Fig. 7 library line-up at the paper's default length, and
-//! the Fig. 9 batch sweep.
+//! The grid mirrors `reproduce_all` (see [`resoftmax_bench::analysis_grid`]).
+//! Combos are analyzed in parallel via `resoftmax-parallel`; findings are
+//! buffered per combo and printed in grid order, so the output is
+//! byte-identical at any thread count.
+
+use std::fmt::Write as _;
 
 use resoftmax_analyzer::Severity;
-use resoftmax_bench::PAPER_SEQ_LEN;
-use resoftmax_model::{
-    build_schedule, check_schedule, LibraryProfile, ModelConfig, RunParams, SoftmaxStrategy,
-};
+use resoftmax_bench::analysis_grid;
+use resoftmax_model::{build_schedule, check_schedule, ModelConfig, RunParams};
 
-const SEQ_LENS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
-const BATCHES: [usize; 4] = [1, 2, 4, 8];
-
-const STRATEGIES: [SoftmaxStrategy; 4] = [
-    SoftmaxStrategy::Baseline,
-    SoftmaxStrategy::Decomposed,
-    SoftmaxStrategy::Recomposed,
-    SoftmaxStrategy::OnlineFused,
-];
-
-fn models() -> Vec<ModelConfig> {
-    let mut m = ModelConfig::all_eval_models();
-    m.push(ModelConfig::bert_base());
-    m.push(ModelConfig::sparse_transformer());
-    m
-}
-
-struct Tally {
-    combos: usize,
+struct ComboResult {
     kernels: usize,
     errors: usize,
     warnings: usize,
+    output: String,
 }
 
-fn analyze_one(model: &ModelConfig, params: &RunParams, tally: &mut Tally) {
+fn analyze_one(model: &ModelConfig, params: &RunParams) -> ComboResult {
     let kernels = build_schedule(model, params);
     let report = check_schedule(model, params, &kernels);
-    tally.combos += 1;
-    tally.kernels += kernels.len();
-    tally.errors += report.count(Severity::Error);
-    tally.warnings += report.count(Severity::Warning);
-    if report.count(Severity::Error) + report.count(Severity::Warning) > 0 {
-        println!(
+    let errors = report.count(Severity::Error);
+    let warnings = report.count(Severity::Warning);
+    let mut output = String::new();
+    if errors + warnings > 0 {
+        writeln!(
+            output,
             "{} / {} / L={} b={} / {}: {}",
             model.name,
             params.strategy.label(),
@@ -58,62 +41,44 @@ fn analyze_one(model: &ModelConfig, params: &RunParams, tally: &mut Tally) {
             params.batch,
             params.profile.name,
             report.summary()
-        );
+        )
+        .expect("write to String");
         for d in &report.diagnostics {
             if d.severity >= Severity::Warning {
-                println!("  {}", d.render());
+                writeln!(output, "  {}", d.render()).expect("write to String");
             }
         }
+    }
+    ComboResult {
+        kernels: kernels.len(),
+        errors,
+        warnings,
+        output,
     }
 }
 
 fn main() {
-    let mut tally = Tally {
-        combos: 0,
-        kernels: 0,
-        errors: 0,
-        warnings: 0,
-    };
+    let grid = analysis_grid();
+    let results =
+        resoftmax_parallel::parallel_map(&grid, |_, (model, params)| analyze_one(model, params));
 
-    // Strategy × sequence-length grid (Fig. 8/9), paper-baseline library.
-    for model in &models() {
-        for &strategy in &STRATEGIES {
-            for &seq_len in &SEQ_LENS {
-                let params = RunParams::new(seq_len).strategy(strategy);
-                analyze_one(model, &params, &mut tally);
-            }
-        }
+    let mut kernels = 0;
+    let mut errors = 0;
+    let mut warnings = 0;
+    for r in &results {
+        kernels += r.kernels;
+        errors += r.errors;
+        warnings += r.warnings;
+        print!("{}", r.output);
     }
-
-    // Library line-up (Fig. 7) at the paper's default length.
-    for model in &models() {
-        for profile in LibraryProfile::fig7_lineup() {
-            for &strategy in &STRATEGIES {
-                let params = RunParams::new(PAPER_SEQ_LEN)
-                    .strategy(strategy)
-                    .profile(profile.clone());
-                analyze_one(model, &params, &mut tally);
-            }
-        }
-    }
-
-    // Batch sweep (Fig. 9 right).
-    for model in &models() {
-        for &batch in &BATCHES {
-            for &strategy in &STRATEGIES {
-                let params = RunParams::new(PAPER_SEQ_LEN)
-                    .strategy(strategy)
-                    .batch(batch);
-                analyze_one(model, &params, &mut tally);
-            }
-        }
-    }
-
     println!(
         "analyzed {} schedules ({} kernels): {} errors, {} warnings",
-        tally.combos, tally.kernels, tally.errors, tally.warnings
+        grid.len(),
+        kernels,
+        errors,
+        warnings
     );
-    if tally.errors > 0 {
+    if errors > 0 {
         std::process::exit(1);
     }
 }

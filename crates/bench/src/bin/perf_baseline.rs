@@ -1,0 +1,141 @@
+//! Measures the wall-clock effect of the work-stealing runtime: runs the
+//! static-analysis sweep and the full experiment suite at 1 thread and at
+//! the configured thread count, checks the results are identical, and
+//! writes the timings to `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run --release -p resoftmax-bench --bin perf_baseline [-- out.json]
+//! ```
+//!
+//! The thread count of the parallel leg honors `RESOFTMAX_THREADS` (else
+//! all available cores); the serial leg pins the in-process override to 1,
+//! so one invocation measures both legs on identical state.
+
+use std::time::Instant;
+
+use resoftmax_bench::{analysis_grid, PAPER_SEQ_LEN};
+use resoftmax_core::experiments::{
+    fig2_breakdown, fig5_sublayers, fig7_libraries, fig8_sd_sdf, fig9_batch_sweep, fig9_seq_sweep,
+    gpu_speedup_matrix,
+};
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::{build_schedule, check_schedule};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Leg {
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+}
+
+impl Leg {
+    fn new(serial_s: f64, parallel_s: f64) -> Leg {
+        Leg {
+            serial_s,
+            parallel_s,
+            speedup: serial_s / parallel_s,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Report {
+    threads_parallel: usize,
+    analyze: Leg,
+    experiments: Leg,
+    total: Leg,
+}
+
+/// The `analyze` binary's sweep: every schedule built and statically checked.
+fn run_analyze_sweep() -> (usize, usize) {
+    let grid = analysis_grid();
+    let results = resoftmax_parallel::parallel_map(&grid, |_, (model, params)| {
+        let kernels = build_schedule(model, params);
+        let report = check_schedule(model, params, &kernels);
+        (kernels.len(), report.diagnostics.len())
+    });
+    results.iter().fold((0, 0), |(k, d), r| (k + r.0, d + r.1))
+}
+
+fn dump<T: Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("experiment rows serialize")
+}
+
+/// Every experiment driver `reproduce_all` prints, returned for comparison.
+fn run_experiments() -> String {
+    let a100 = DeviceSpec::a100();
+    let fig2 = fig2_breakdown(&a100, PAPER_SEQ_LEN).expect("launchable");
+    let fig5 = fig5_sublayers(&a100, PAPER_SEQ_LEN).expect("launchable");
+    let fig7 = fig7_libraries(&a100, PAPER_SEQ_LEN).expect("launchable");
+    let fig8 = fig8_sd_sdf(&a100, PAPER_SEQ_LEN, 1).expect("launchable");
+    let fig9a = fig9_seq_sweep(&a100, &[512, 1024, 2048, 4096, 8192]).expect("launchable");
+    let fig9b = fig9_batch_sweep(&a100, PAPER_SEQ_LEN, &[1, 2, 4, 8]).expect("launchable");
+    let matrix = gpu_speedup_matrix(PAPER_SEQ_LEN).expect("launchable");
+    [
+        dump(&fig2),
+        dump(&fig5),
+        dump(&fig7),
+        dump(&fig8),
+        dump(&fig9a),
+        dump(&fig9b),
+        dump(&matrix),
+    ]
+    .join("\n")
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
+    let threads = resoftmax_parallel::num_threads();
+
+    // Serial leg: pin the runtime to one thread.
+    resoftmax_parallel::set_thread_override(Some(1));
+    let (analyze_serial, analyze_serial_s) = timed(run_analyze_sweep);
+    let (rows_serial, experiments_serial_s) = timed(run_experiments);
+
+    // Parallel leg: the configured thread count.
+    resoftmax_parallel::set_thread_override(None);
+    let (analyze_parallel, analyze_parallel_s) = timed(run_analyze_sweep);
+    let (rows_parallel, experiments_parallel_s) = timed(run_experiments);
+
+    assert_eq!(
+        analyze_serial, analyze_parallel,
+        "analysis sweep must not depend on thread count"
+    );
+    assert_eq!(
+        rows_serial, rows_parallel,
+        "experiment rows must be identical at any thread count"
+    );
+
+    let report = Report {
+        threads_parallel: threads,
+        analyze: Leg::new(analyze_serial_s, analyze_parallel_s),
+        experiments: Leg::new(experiments_serial_s, experiments_parallel_s),
+        total: Leg::new(
+            analyze_serial_s + experiments_serial_s,
+            analyze_parallel_s + experiments_parallel_s,
+        ),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark report");
+    println!(
+        "analyze sweep:  {:.3}s serial / {:.3}s at {} threads ({:.2}x)",
+        report.analyze.serial_s, report.analyze.parallel_s, threads, report.analyze.speedup
+    );
+    println!(
+        "experiments:    {:.3}s serial / {:.3}s at {} threads ({:.2}x)",
+        report.experiments.serial_s,
+        report.experiments.parallel_s,
+        threads,
+        report.experiments.speedup
+    );
+    println!("results identical across thread counts; report written to {out_path}");
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::{LibraryProfile, ModelConfig, RunParams, SoftmaxStrategy};
 
 /// Resolves a device name from an optional CLI argument
 /// (`a100` default, `3090`, `t4`).
@@ -49,9 +50,76 @@ pub fn print_json<T: serde::Serialize>(rows: &T) {
     );
 }
 
+/// The complete static-analysis grid the `analyze` binary (and the
+/// `perf_baseline` harness) sweeps: the evaluation models (plus the two
+/// extra presets) × the four softmax strategies × the Fig. 9 sequence
+/// lengths, the Fig. 7 library line-up at the paper's default length, and
+/// the Fig. 9 batch sweep — in deterministic reporting order.
+pub fn analysis_grid() -> Vec<(ModelConfig, RunParams)> {
+    const SEQ_LENS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
+    const BATCHES: [usize; 4] = [1, 2, 4, 8];
+    const STRATEGIES: [SoftmaxStrategy; 4] = [
+        SoftmaxStrategy::Baseline,
+        SoftmaxStrategy::Decomposed,
+        SoftmaxStrategy::Recomposed,
+        SoftmaxStrategy::OnlineFused,
+    ];
+    let models = {
+        let mut m = ModelConfig::all_eval_models();
+        m.push(ModelConfig::bert_base());
+        m.push(ModelConfig::sparse_transformer());
+        m
+    };
+
+    let mut combos = Vec::new();
+    // Strategy × sequence-length grid (Fig. 8/9), paper-baseline library.
+    for model in &models {
+        for &strategy in &STRATEGIES {
+            for &seq_len in &SEQ_LENS {
+                combos.push((model.clone(), RunParams::new(seq_len).strategy(strategy)));
+            }
+        }
+    }
+    // Library line-up (Fig. 7) at the paper's default length.
+    for model in &models {
+        for profile in LibraryProfile::fig7_lineup() {
+            for &strategy in &STRATEGIES {
+                combos.push((
+                    model.clone(),
+                    RunParams::new(PAPER_SEQ_LEN)
+                        .strategy(strategy)
+                        .profile(profile.clone()),
+                ));
+            }
+        }
+    }
+    // Batch sweep (Fig. 9 right).
+    for model in &models {
+        for &batch in &BATCHES {
+            for &strategy in &STRATEGIES {
+                combos.push((
+                    model.clone(),
+                    RunParams::new(PAPER_SEQ_LEN)
+                        .strategy(strategy)
+                        .batch(batch),
+                ));
+            }
+        }
+    }
+    combos
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn analysis_grid_shape() {
+        let grid = analysis_grid();
+        // 6 models × (4 strategies × 5 seq lens + lineup × 4 + 4 batches × 4).
+        let lineup = LibraryProfile::fig7_lineup().len();
+        assert_eq!(grid.len(), 6 * (4 * 5 + lineup * 4 + 4 * 4));
+    }
 
     #[test]
     fn device_parsing() {

@@ -7,6 +7,7 @@
 
 use resoftmax_gpusim::{DeviceSpec, KernelCategory, LaunchError};
 use resoftmax_model::{run_inference, LibraryProfile, ModelConfig, RunParams, SoftmaxStrategy};
+use resoftmax_parallel::parallel_map;
 use serde::{Deserialize, Serialize};
 
 /// The paper's default evaluation point: L = 4096, batch 1 (§4).
@@ -39,15 +40,15 @@ pub struct Fig2Row {
 ///
 /// Returns [`LaunchError`] if a kernel cannot launch on the device.
 pub fn fig2_breakdown(device: &DeviceSpec, seq_len: usize) -> Result<Vec<Fig2Row>, LaunchError> {
-    let mut rows = Vec::new();
-    for model in ModelConfig::all_eval_models() {
-        let r = run_inference(&model, &RunParams::new(seq_len), device.clone())?;
+    let models = ModelConfig::all_eval_models();
+    parallel_map(&models, |_, model| {
+        let r = run_inference(model, &RunParams::new(seq_len), device.clone())?;
         let b = r.breakdown();
         let total = b.total_time_s();
         let frac = |cats: &[KernelCategory]| -> f64 {
             cats.iter().map(|&c| b.time_of(c)).sum::<f64>() / total
         };
-        rows.push(Fig2Row {
+        Ok(Fig2Row {
             model: model.name.clone(),
             total_ms: total * 1e3,
             matmul_sda_frac: frac(&[KernelCategory::MatMulQk, KernelCategory::MatMulPv]),
@@ -62,9 +63,10 @@ pub fn fig2_breakdown(device: &DeviceSpec, seq_len: usize) -> Result<Vec<Fig2Row
                 KernelCategory::Other,
             ]),
             sda_frac: r.sda_time_fraction(),
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Fig. 5: time and traffic shares of the decomposed softmax sub-layers.
@@ -92,10 +94,10 @@ pub struct Fig5Row {
 ///
 /// Returns [`LaunchError`] if a kernel cannot launch.
 pub fn fig5_sublayers(device: &DeviceSpec, seq_len: usize) -> Result<Vec<Fig5Row>, LaunchError> {
-    let mut rows = Vec::new();
-    for model in ModelConfig::all_eval_models() {
+    let models = ModelConfig::all_eval_models();
+    parallel_map(&models, |_, model| {
         let r = run_inference(
-            &model,
+            model,
             &RunParams::new(seq_len).strategy(SoftmaxStrategy::Decomposed),
             device.clone(),
         )?;
@@ -112,7 +114,7 @@ pub fn fig5_sublayers(device: &DeviceSpec, seq_len: usize) -> Result<Vec<Fig5Row
         );
         let tt = ls_t + ir_t + gs_t;
         let td = ls_d + ir_d + gs_d;
-        rows.push(Fig5Row {
+        Ok(Fig5Row {
             model: model.name.clone(),
             ls_time_frac: ls_t / tt,
             ir_time_frac: ir_t / tt,
@@ -120,9 +122,10 @@ pub fn fig5_sublayers(device: &DeviceSpec, seq_len: usize) -> Result<Vec<Fig5Row
             ls_dram_frac: ls_d / td,
             ir_dram_frac: ir_d / td,
             gs_dram_frac: gs_d / td,
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One bar of Fig. 7: a library's latency on a model.
@@ -143,24 +146,28 @@ pub struct Fig7Row {
 ///
 /// Returns [`LaunchError`] if a kernel cannot launch.
 pub fn fig7_libraries(device: &DeviceSpec, seq_len: usize) -> Result<Vec<Fig7Row>, LaunchError> {
-    let mut rows = Vec::new();
     let mut lineup = LibraryProfile::fig7_lineup();
     lineup.push(LibraryProfile::autotvm());
+    let mut combos = Vec::new();
     for model in [ModelConfig::bert_large(), ModelConfig::bigbird_large()] {
         for profile in &lineup {
-            let r = run_inference(
-                &model,
-                &RunParams::new(seq_len).profile(profile.clone()),
-                device.clone(),
-            )?;
-            rows.push(Fig7Row {
-                library: profile.name.clone(),
-                model: model.name.clone(),
-                total_ms: r.total_time_s() * 1e3,
-            });
+            combos.push((model.clone(), profile.clone()));
         }
     }
-    Ok(rows)
+    parallel_map(&combos, |_, (model, profile)| {
+        let r = run_inference(
+            model,
+            &RunParams::new(seq_len).profile(profile.clone()),
+            device.clone(),
+        )?;
+        Ok(Fig7Row {
+            library: profile.name.clone(),
+            model: model.name.clone(),
+            total_ms: r.total_time_s() * 1e3,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One model's Fig. 8 measurements (normalized to the baseline).
@@ -202,20 +209,31 @@ pub fn fig8_sd_sdf(
     seq_len: usize,
     batch: usize,
 ) -> Result<Vec<Fig8Row>, LaunchError> {
+    // Fan out over model × strategy (12 independent runs), then regroup the
+    // three reports of each model into its row.
+    let models = ModelConfig::all_eval_models();
+    let strategies = [
+        SoftmaxStrategy::Baseline,
+        SoftmaxStrategy::Decomposed,
+        SoftmaxStrategy::Recomposed,
+    ];
+    let combos: Vec<(ModelConfig, SoftmaxStrategy)> = models
+        .iter()
+        .flat_map(|m| strategies.iter().map(move |&s| (m.clone(), s)))
+        .collect();
+    let reports: Vec<resoftmax_model::RunReport> = parallel_map(&combos, |_, (model, s)| {
+        run_inference(
+            model,
+            &RunParams::new(seq_len).batch(batch).strategy(*s),
+            device.clone(),
+        )
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+
     let mut rows = Vec::new();
-    for model in ModelConfig::all_eval_models() {
-        let params = RunParams::new(seq_len).batch(batch);
-        let base = run_inference(&model, &params.clone(), device.clone())?;
-        let sd = run_inference(
-            &model,
-            &params.clone().strategy(SoftmaxStrategy::Decomposed),
-            device.clone(),
-        )?;
-        let sdf = run_inference(
-            &model,
-            &params.strategy(SoftmaxStrategy::Recomposed),
-            device.clone(),
-        )?;
+    for (model, runs) in models.iter().zip(reports.chunks_exact(strategies.len())) {
+        let (base, sd, sdf) = (&runs[0], &runs[1], &runs[2]);
         // Softmax-boundary traffic: everything that crosses between the
         // softmax layer and its adjacent MatMuls — the QK output stream, the
         // softmax kernels' own traffic, and the PV input stream.
@@ -231,8 +249,8 @@ pub fn fig8_sd_sdf(
                 })
                 .sum()
         };
-        let base_softmax_dram = boundary(&base);
-        let sdf_softmax_dram = boundary(&sdf);
+        let base_softmax_dram = boundary(base);
+        let sdf_softmax_dram = boundary(sdf);
         // DRAM-access energy scales with traffic at a constant pJ/byte.
         let pj = device.dram_pj_per_byte;
         rows.push(Fig8Row {
@@ -274,13 +292,13 @@ pub fn fig9_seq_sweep(
     device: &DeviceSpec,
     seq_lens: &[usize],
 ) -> Result<Vec<SweepPoint>, LaunchError> {
-    let mut points = Vec::new();
-    for model in ModelConfig::all_eval_models() {
-        for &l in seq_lens {
-            points.push(sweep_point(device, &model, l, 1)?);
-        }
-    }
-    Ok(points)
+    let combos: Vec<(ModelConfig, usize)> = ModelConfig::all_eval_models()
+        .iter()
+        .flat_map(|m| seq_lens.iter().map(move |&l| (m.clone(), l)))
+        .collect();
+    parallel_map(&combos, |_, (model, l)| sweep_point(device, model, *l, 1))
+        .into_iter()
+        .collect()
 }
 
 /// Fig. 9(b): SDF speedup as a function of batch size.
@@ -293,13 +311,15 @@ pub fn fig9_batch_sweep(
     seq_len: usize,
     batches: &[usize],
 ) -> Result<Vec<SweepPoint>, LaunchError> {
-    let mut points = Vec::new();
-    for model in ModelConfig::all_eval_models() {
-        for &b in batches {
-            points.push(sweep_point(device, &model, seq_len, b)?);
-        }
-    }
-    Ok(points)
+    let combos: Vec<(ModelConfig, usize)> = ModelConfig::all_eval_models()
+        .iter()
+        .flat_map(|m| batches.iter().map(move |&b| (m.clone(), b)))
+        .collect();
+    parallel_map(&combos, |_, (model, b)| {
+        sweep_point(device, model, seq_len, *b)
+    })
+    .into_iter()
+    .collect()
 }
 
 fn sweep_point(
@@ -344,19 +364,25 @@ pub struct GpuSpeedupRow {
 ///
 /// Returns [`LaunchError`] if a kernel cannot launch.
 pub fn gpu_speedup_matrix(seq_len: usize) -> Result<Vec<GpuSpeedupRow>, LaunchError> {
-    let mut rows = Vec::new();
-    for device in DeviceSpec::all_presets() {
-        for model in ModelConfig::all_eval_models() {
-            let p = sweep_point(&device, &model, seq_len, 1)?;
-            rows.push(GpuSpeedupRow {
-                device: device.name.clone(),
-                model: model.name.clone(),
-                sdf_speedup: p.sdf_speedup,
-                softmax_frac: p.softmax_frac,
-            });
-        }
-    }
-    Ok(rows)
+    let combos: Vec<(DeviceSpec, ModelConfig)> = DeviceSpec::all_presets()
+        .iter()
+        .flat_map(|d| {
+            ModelConfig::all_eval_models()
+                .into_iter()
+                .map(move |m| (d.clone(), m))
+        })
+        .collect();
+    parallel_map(&combos, |_, (device, model)| {
+        let p = sweep_point(device, model, seq_len, 1)?;
+        Ok(GpuSpeedupRow {
+            device: device.name.clone(),
+            model: model.name.clone(),
+            sdf_speedup: p.sdf_speedup,
+            softmax_frac: p.softmax_frac,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Table 1: the evaluation GPUs (returned, not hardcoded in the binary, so
@@ -558,32 +584,36 @@ pub fn full_grid_sweep(
     batches: &[usize],
     strategies: &[SoftmaxStrategy],
 ) -> Result<Vec<GridPoint>, LaunchError> {
-    let mut out = Vec::new();
+    let mut combos = Vec::new();
     for device in devices {
         for model in ModelConfig::all_eval_models() {
             for &l in seq_lens {
                 for &b in batches {
                     for &s in strategies {
-                        let r = run_inference(
-                            &model,
-                            &RunParams::new(l).batch(b).strategy(s),
-                            device.clone(),
-                        )?;
-                        out.push(GridPoint {
-                            device: device.name.clone(),
-                            model: model.name.clone(),
-                            strategy: s.label().to_owned(),
-                            seq_len: l,
-                            batch: b,
-                            total_ms: r.total_time_s() * 1e3,
-                            dram_gb: r.total_dram_bytes() / 1e9,
-                            energy_j: r.total_energy_j(),
-                            softmax_frac: r.softmax_time_fraction(),
-                        });
+                        combos.push((device.clone(), model.clone(), l, b, s));
                     }
                 }
             }
         }
     }
-    Ok(out)
+    parallel_map(&combos, |_, (device, model, l, b, s)| {
+        let r = run_inference(
+            model,
+            &RunParams::new(*l).batch(*b).strategy(*s),
+            device.clone(),
+        )?;
+        Ok(GridPoint {
+            device: device.name.clone(),
+            model: model.name.clone(),
+            strategy: s.label().to_owned(),
+            seq_len: *l,
+            batch: *b,
+            total_ms: r.total_time_s() * 1e3,
+            dram_gb: r.total_dram_bytes() / 1e9,
+            energy_j: r.total_energy_j(),
+            softmax_frac: r.softmax_time_fraction(),
+        })
+    })
+    .into_iter()
+    .collect()
 }

@@ -353,6 +353,34 @@ pub struct KernelMeta {
     pub fused_gs: bool,
     /// Block-sparse kernels: the square block side.
     pub sparse_block: Option<usize>,
+    /// The axis along which the kernel's work is split across thread blocks
+    /// (and, on the host reference implementation, across worker threads).
+    /// `None` means the generator did not declare one.
+    pub split: Option<ParallelSplit>,
+}
+
+/// How a kernel's work is divided into independently-schedulable units.
+///
+/// The host runtime (`resoftmax-parallel`) and the simulated grid both rely
+/// on the same invariant: work may only be split along axes where every unit
+/// owns a *disjoint* slice of the output, so the per-element accumulation
+/// order — and therefore every FP16 rounding step — is identical at any
+/// degree of parallelism. Splitting a reduction axis breaks that invariant
+/// (partial sums combine in a parallelism-dependent order); the static
+/// analyzer rejects any kernel that declares it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParallelSplit {
+    /// Whole output rows (softmax / LayerNorm / fused-attention style).
+    OutputRows,
+    /// Rectangular output tiles of a MatMul.
+    OutputTiles,
+    /// Independent output elements (elementwise kernels).
+    Elements,
+    /// Sub-vector segments within a row (the paper's Local Softmax `T`).
+    RowSegments,
+    /// A reduction axis — never legal to parallelize; declared only to make
+    /// the analyzer's negative tests expressible.
+    ReductionAxis,
 }
 
 /// Complete description of one kernel launch.

@@ -1,0 +1,120 @@
+//! Bit-identity tests for the wave-class fast path: `Gpu::launch` must
+//! produce exactly the same `KernelStats` whether the fast path is enabled
+//! (the default) or disabled, for homogeneous grids, heterogeneous tails,
+//! zero-work blocks, and mixed compute/memory work.
+
+use resoftmax_gpusim::{DeviceSpec, Gpu, KernelCategory, KernelDesc, TbShape, TbWork};
+
+/// Launches `kernels` in order on two fresh GPUs — fast path on vs off —
+/// and asserts every per-kernel stat is bit-identical.
+fn assert_paths_identical(device: DeviceSpec, kernels: &[KernelDesc]) {
+    let mut fast = Gpu::new(device.clone());
+    let mut slow = Gpu::new(device);
+    slow.set_wave_fast_path(false);
+    for k in kernels {
+        let sf = fast.launch(k).expect("fast launch");
+        let ss = slow.launch(k).expect("slow launch");
+        assert_eq!(sf, ss, "stats diverge for kernel {:?}", k.name);
+    }
+    assert_eq!(
+        fast.timeline().total_time_s().to_bits(),
+        slow.timeline().total_time_s().to_bits(),
+        "timeline totals diverge"
+    );
+}
+
+fn memory_kernel(name: &str, count: u64, bytes: f64) -> KernelDesc {
+    KernelDesc::builder(name, KernelCategory::Softmax)
+        .shape(TbShape::new(256, 0, 32))
+        .uniform(count, TbWork::memory(bytes, bytes / 4.0))
+        .build()
+}
+
+/// Homogeneous grid far larger than the machine: many full waves replayed.
+#[test]
+fn homogeneous_many_waves() {
+    for count in [1, 7, 216, 217, 5000, 100_000] {
+        assert_paths_identical(
+            DeviceSpec::a100(),
+            &[memory_kernel("uniform", count, 64_000.0)],
+        );
+    }
+}
+
+/// Compute-bound and mixed compute/memory homogeneous grids.
+#[test]
+fn homogeneous_compute_and_mixed() {
+    let mixed = TbWork {
+        cuda_flops: 2e6,
+        tensor_flops: 5e7,
+        dram_read_bytes: 100_000.0,
+        dram_write_bytes: 20_000.0,
+        mem_active_fraction: 0.5,
+        efficiency: 0.8,
+    };
+    let k = KernelDesc::builder("mixed", KernelCategory::FusedAttention)
+        .shape(TbShape::new(512, 48 * 1024, 32))
+        .uniform(10_000, mixed)
+        .build();
+    assert_paths_identical(DeviceSpec::a100(), &[k]);
+}
+
+/// Heterogeneous per-TB grids never qualify for the fast path as a whole,
+/// but runs of identical blocks inside them do once coalesced.
+#[test]
+fn heterogeneous_tail() {
+    let mut tbs = vec![TbWork::memory(100_000.0, 10_000.0); 4000];
+    for i in 0..300 {
+        tbs.push(TbWork::memory((i % 9 + 1) as f64 * 37_000.0, 5_000.0));
+    }
+    let k = KernelDesc::builder("het", KernelCategory::MatMulPv)
+        .shape(TbShape::new(1024, 0, 32))
+        .per_tb(tbs)
+        .build();
+    assert_paths_identical(DeviceSpec::a100(), &[k]);
+}
+
+/// Zero-work blocks interleaved with real work retire instantly on both paths.
+#[test]
+fn zero_work_groups() {
+    let mut tbs = vec![TbWork::default(); 3000];
+    tbs.extend(vec![TbWork::memory(50_000.0, 0.0); 3000]);
+    tbs.extend(vec![TbWork::default(); 500]);
+    let k = KernelDesc::builder("zeros", KernelCategory::Other)
+        .shape(TbShape::new(128, 0, 16))
+        .per_tb(tbs)
+        .build();
+    assert_paths_identical(DeviceSpec::a100(), &[k]);
+
+    let all_zero = KernelDesc::builder("all-zero", KernelCategory::Other)
+        .shape(TbShape::new(128, 0, 16))
+        .per_tb(vec![TbWork::default(); 5000])
+        .build();
+    assert_paths_identical(DeviceSpec::a100(), &[all_zero]);
+}
+
+/// A sequence of kernels with L2 reuse between them: the shared cache state
+/// must evolve identically on both paths.
+#[test]
+fn l2_interaction_sequence() {
+    let small = 8 * 1024 * 1024u64;
+    let producer = KernelDesc::builder("p", KernelCategory::InterReduction)
+        .shape(TbShape::new(256, 0, 32))
+        .uniform(20_000, TbWork::memory(0.0, small as f64 / 20_000.0))
+        .writes("r'", small)
+        .build();
+    let consumer = KernelDesc::builder("c", KernelCategory::GlobalScaling)
+        .shape(TbShape::new(256, 0, 32))
+        .uniform(20_000, TbWork::memory(small as f64 / 20_000.0, 0.0))
+        .reads("r'", small)
+        .build();
+    assert_paths_identical(DeviceSpec::a100(), &[producer, consumer]);
+}
+
+/// The equivalence holds across device specs (different slot counts).
+#[test]
+fn across_devices() {
+    for device in [DeviceSpec::a100(), DeviceSpec::t4(), DeviceSpec::rtx3090()] {
+        assert_paths_identical(device, &[memory_kernel("dev", 12_345, 80_000.0)]);
+    }
+}

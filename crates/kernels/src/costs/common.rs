@@ -3,7 +3,7 @@
 //! and LayerNorm.
 
 use super::{buf, EXP_FLOP_EQUIV, FP16_BYTES, MATMUL_ROOFLINE_EFFICIENCY, STREAM_EFFICIENCY};
-use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, TbShape, TbWork};
+use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, ParallelSplit, TbShape, TbWork};
 
 /// Cost of a fully-connected MatMul: `[rows × d_in] · [d_in × d_out]`
 /// (weights stationary), with optional fused bias+activation epilogue.
@@ -53,6 +53,7 @@ pub fn fc(
             rows: Some(rows),
             d_in: Some(d_in),
             d_out: Some(d_out),
+            split: Some(ParallelSplit::OutputTiles),
             ..KernelMeta::default()
         })
         .reads(buf(prefix, input), in_once)
@@ -92,6 +93,7 @@ pub fn elementwise(
         .meta(KernelMeta {
             elems: Some(elems),
             input_streams: Some(reads_per_elem),
+            split: Some(ParallelSplit::Elements),
             ..KernelMeta::default()
         });
     for input in inputs {
@@ -124,6 +126,7 @@ pub fn layernorm(rows: usize, d: usize, prefix: &str, input: &str, output: &str)
         .meta(KernelMeta {
             rows: Some(rows),
             d_out: Some(d),
+            split: Some(ParallelSplit::OutputRows),
             ..KernelMeta::default()
         })
         .reads(buf(prefix, input), (rows * d * FP16_BYTES) as u64)

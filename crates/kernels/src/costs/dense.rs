@@ -5,7 +5,7 @@ use super::{
     GS_PROLOGUE_EFFICIENCY, MATMUL_ROOFLINE_EFFICIENCY, SOFTMAX_PHASE_EFFICIENCY,
     STREAM_EFFICIENCY,
 };
-use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, TbShape, TbWork};
+use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, ParallelSplit, TbShape, TbWork};
 
 /// Base metadata shared by every dense attention kernel.
 fn attn_meta(dims: &AttnDims) -> KernelMeta {
@@ -109,6 +109,7 @@ pub fn matmul_qk(
             sub_vector: matches!(epilogue, QkEpilogue::ScaleMaskLocalSoftmax).then_some(tile.n),
             fused_scale_mask: !matches!(epilogue, QkEpilogue::None),
             fused_ls: matches!(epilogue, QkEpilogue::ScaleMaskLocalSoftmax),
+            split: Some(ParallelSplit::OutputTiles),
             ..attn_meta(dims)
         })
         .reads(buf(prefix, "q"), q_once)
@@ -181,6 +182,7 @@ pub fn matmul_pv(
             tile_n: Some(n),
             sub_vector: matches!(prologue, PvPrologue::GlobalScaling).then_some(tile.n),
             fused_gs: matches!(prologue, PvPrologue::GlobalScaling),
+            split: Some(ParallelSplit::OutputTiles),
             ..attn_meta(dims)
         })
         .reads(buf(prefix, p_buf), dims.attn_bytes())
@@ -215,7 +217,10 @@ pub fn softmax_monolithic(dims: &AttnDims, prefix: &str, input: &str) -> KernelD
     KernelDesc::builder(format!("softmax(L={})", dims.l), KernelCategory::Softmax)
         .shape(TbShape::new(threads, (dims.kv_len * FP16_BYTES) as u32, 40))
         .uniform(rows, work)
-        .meta(attn_meta(dims))
+        .meta(KernelMeta {
+            split: Some(ParallelSplit::OutputRows),
+            ..attn_meta(dims)
+        })
         .reads(buf(prefix, input), dims.attn_bytes())
         .writes(buf(prefix, "probs"), dims.attn_bytes())
         .build()
@@ -243,6 +248,7 @@ pub fn local_softmax(dims: &AttnDims, t: usize, prefix: &str, input: &str) -> Ke
     .uniform(tiles, work)
     .meta(KernelMeta {
         sub_vector: Some(t),
+        split: Some(ParallelSplit::RowSegments),
         ..attn_meta(dims)
     })
     .reads(buf(prefix, input), dims.attn_bytes())
@@ -282,6 +288,7 @@ pub fn inter_reduction(dims: &AttnDims, t: usize, prefix: &str) -> KernelDesc {
     .uniform(grid, work)
     .meta(KernelMeta {
         sub_vector: Some(t),
+        split: Some(ParallelSplit::OutputRows),
         ..attn_meta(dims)
     })
     .reads(buf(prefix, "m_prime"), dims.intermediate_bytes(t))
@@ -312,6 +319,7 @@ pub fn global_scaling(dims: &AttnDims, t: usize, prefix: &str) -> KernelDesc {
     .uniform(grid, work)
     .meta(KernelMeta {
         sub_vector: Some(t),
+        split: Some(ParallelSplit::Elements),
         ..attn_meta(dims)
     })
     .reads(buf(prefix, "x_prime"), dims.attn_bytes())
@@ -357,6 +365,7 @@ pub fn fused_mha_online(dims: &AttnDims, tile: TileConfig, prefix: &str) -> Kern
     .meta(KernelMeta {
         tile_m: Some(tile.m),
         tile_n: Some(tile.n),
+        split: Some(ParallelSplit::OutputRows),
         ..attn_meta(dims)
     })
     .reads(buf(prefix, "q"), q_once)

@@ -18,7 +18,9 @@ use super::{
     MATMUL_ROOFLINE_EFFICIENCY, SOFTMAX_PHASE_EFFICIENCY, SPARSE_GATHER_EFFICIENCY,
     STREAM_EFFICIENCY,
 };
-use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, TbGroup, TbShape, TbWork};
+use resoftmax_gpusim::{
+    KernelCategory, KernelDesc, KernelMeta, ParallelSplit, TbGroup, TbShape, TbWork,
+};
 use resoftmax_sparse::BlockLayout;
 
 /// Base metadata shared by every block-sparse attention kernel.
@@ -101,6 +103,7 @@ pub fn bs_matmul_qk(
             sub_vector: matches!(epilogue, BsQkEpilogue::ScaleMaskLocalSoftmax).then_some(b),
             fused_scale_mask: true,
             fused_ls: matches!(epilogue, BsQkEpilogue::ScaleMaskLocalSoftmax),
+            split: Some(ParallelSplit::OutputTiles),
             ..bs_meta(layout, dims)
         })
         .reads(buf(prefix, "q"), q_once)
@@ -158,7 +161,10 @@ pub fn bs_softmax_baseline(layout: &BlockLayout, dims: &AttnDims, prefix: &str) 
         40,
     ))
     .grouped(groups)
-    .meta(bs_meta(layout, dims))
+    .meta(KernelMeta {
+        split: Some(ParallelSplit::OutputRows),
+        ..bs_meta(layout, dims)
+    })
     .reads(buf(prefix, "scores"), nnz_bytes(layout, dims))
     .writes(buf(prefix, "probs"), nnz_bytes(layout, dims))
     .build()
@@ -187,6 +193,7 @@ pub fn bs_local_softmax(layout: &BlockLayout, dims: &AttnDims, prefix: &str) -> 
     .uniform(grid, work)
     .meta(KernelMeta {
         sub_vector: Some(b),
+        split: Some(ParallelSplit::RowSegments),
         ..bs_meta(layout, dims)
     })
     .reads(buf(prefix, "scores"), nnz_bytes(layout, dims))
@@ -225,6 +232,7 @@ pub fn bs_inter_reduction(layout: &BlockLayout, dims: &AttnDims, prefix: &str) -
     .grouped(groups)
     .meta(KernelMeta {
         sub_vector: Some(b),
+        split: Some(ParallelSplit::OutputRows),
         ..bs_meta(layout, dims)
     })
     .reads(buf(prefix, "m_prime"), intermediate_nnz_bytes(layout, dims))
@@ -254,6 +262,7 @@ pub fn bs_global_scaling(layout: &BlockLayout, dims: &AttnDims, prefix: &str) ->
     .uniform(grid, work)
     .meta(KernelMeta {
         sub_vector: Some(b),
+        split: Some(ParallelSplit::Elements),
         ..bs_meta(layout, dims)
     })
     .reads(buf(prefix, "x_prime"), nnz_bytes(layout, dims))
@@ -326,6 +335,7 @@ pub fn bs_matmul_pv(
             tile_n: Some(dims.d_head),
             sub_vector: gs.then_some(b),
             fused_gs: gs,
+            split: Some(ParallelSplit::OutputRows),
             ..bs_meta(layout, dims)
         })
         .reads(buf(prefix, p_buf), nnz_bytes(layout, dims))
@@ -370,7 +380,10 @@ pub fn bs_fused_mha_online(layout: &BlockLayout, dims: &AttnDims, prefix: &str) 
     )
     .shape(TbShape::new(256, 32 * 1024, 120))
     .grouped(groups)
-    .meta(bs_meta(layout, dims))
+    .meta(KernelMeta {
+        split: Some(ParallelSplit::OutputRows),
+        ..bs_meta(layout, dims)
+    })
     .reads(buf(prefix, "q"), q_once)
     .reads(buf(prefix, "k"), k_once)
     .reads(buf(prefix, "v"), v_once)

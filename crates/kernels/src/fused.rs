@@ -18,6 +18,7 @@
 //! layer in terms of mathematics") plus honest rounding.
 
 use crate::decomposed::{check_subvector, inter_reduce, InterReductionOutput};
+use rayon::prelude::*;
 use resoftmax_tensor::{Matrix, Scalar, ShapeError};
 
 /// Output of the fused `Q·Kᵀ` + Scale + Mask + LS kernel.
@@ -72,45 +73,55 @@ pub fn fused_qk_ls<T: Scalar>(
 
     // One "thread block" per (row-tile is irrelevant numerically) output tile
     // of width t: compute the f32 accumulator column strip, then the epilogue.
-    for r in 0..l {
-        for sv in 0..n_sv {
-            // MatMul inner product in f32 (tensor-core accumulate).
-            let mut acc = vec![0.0f32; t];
-            for (j, a) in acc.iter_mut().enumerate() {
-                let c = sv * t + j;
-                let mut s = 0.0f32;
-                for p in 0..d_head {
-                    s += q.get(r, p).to_f32() * k.get(c, p).to_f32();
-                }
-                *a = s;
-            }
-            // Epilogue in f32: scale, mask, local max/normalizer, exp.
-            let mut m = f32::NEG_INFINITY;
-            for (j, a) in acc.iter_mut().enumerate() {
-                *a *= scale as f32;
-                if let Some(mk) = mask {
-                    if !mk[r * l + sv * t + j] {
-                        *a = f32::NEG_INFINITY;
+    // Rows are independent — each owns a disjoint row of all three outputs —
+    // so they parallelize in lockstep with bit-identical per-row arithmetic.
+    resoftmax_parallel::parallel_chunks_mut3(
+        x_prime.as_mut_slice(),
+        l.max(1),
+        m_prime.as_mut_slice(),
+        n_sv.max(1),
+        d_prime.as_mut_slice(),
+        n_sv.max(1),
+        |r, x_row, m_row, d_row| {
+            for sv in 0..n_sv {
+                // MatMul inner product in f32 (tensor-core accumulate).
+                let mut acc = vec![0.0f32; t];
+                for (j, a) in acc.iter_mut().enumerate() {
+                    let c = sv * t + j;
+                    let mut s = 0.0f32;
+                    for p in 0..d_head {
+                        s += q.get(r, p).to_f32() * k.get(c, p).to_f32();
                     }
+                    *a = s;
                 }
-                m = m.max(*a);
+                // Epilogue in f32: scale, mask, local max/normalizer, exp.
+                let mut m = f32::NEG_INFINITY;
+                for (j, a) in acc.iter_mut().enumerate() {
+                    *a *= scale as f32;
+                    if let Some(mk) = mask {
+                        if !mk[r * l + sv * t + j] {
+                            *a = f32::NEG_INFINITY;
+                        }
+                    }
+                    m = m.max(*a);
+                }
+                if m == f32::NEG_INFINITY {
+                    m_row[sv] = T::neg_infinity();
+                    continue;
+                }
+                let mut d = 0.0f32;
+                for a in &acc {
+                    d += (a - m).exp();
+                }
+                for (j, a) in acc.iter().enumerate() {
+                    // Single rounding to T on the way to off-chip storage.
+                    x_row[sv * t + j] = T::from_f64(((a - m).exp() / d) as f64);
+                }
+                m_row[sv] = T::from_f64(m as f64);
+                d_row[sv] = T::from_f64(d as f64);
             }
-            if m == f32::NEG_INFINITY {
-                m_prime.set(r, sv, T::neg_infinity());
-                continue;
-            }
-            let mut d = 0.0f32;
-            for a in &acc {
-                d += (a - m).exp();
-            }
-            for (j, a) in acc.iter().enumerate() {
-                // Single rounding to T on the way to off-chip storage.
-                x_prime.set(r, sv * t + j, T::from_f64(((a - m).exp() / d) as f64));
-            }
-            m_prime.set(r, sv, T::from_f64(m as f64));
-            d_prime.set(r, sv, T::from_f64(d as f64));
-        }
-    }
+        },
+    );
     Ok(FusedQkLsOutput {
         x_prime,
         m_prime,
@@ -150,24 +161,27 @@ pub fn fused_gs_pv<T: Scalar>(
     }
     let d_head = v.cols();
     let mut out = Matrix::zeros(l, d_head);
-    for r in 0..l {
-        let mut acc = vec![0.0f32; d_head];
-        for k in 0..x_prime.cols() {
-            let rk = r_prime.get(r, k / t).to_f32();
-            // GS in f32, rounded once to feed the MMA.
-            let p = T::from_f32(x_prime.get(r, k).to_f32() * rk);
-            let pf = p.to_f32();
-            if pf == 0.0 {
-                continue;
+    out.as_mut_slice()
+        .par_chunks_mut(d_head.max(1))
+        .enumerate()
+        .for_each(|(r, o_row)| {
+            let mut acc = vec![0.0f32; d_head];
+            for k in 0..x_prime.cols() {
+                let rk = r_prime.get(r, k / t).to_f32();
+                // GS in f32, rounded once to feed the MMA.
+                let p = T::from_f32(x_prime.get(r, k).to_f32() * rk);
+                let pf = p.to_f32();
+                if pf == 0.0 {
+                    continue;
+                }
+                for (j, a) in acc.iter_mut().enumerate() {
+                    *a += pf * v.get(k, j).to_f32();
+                }
             }
-            for (j, a) in acc.iter_mut().enumerate() {
-                *a += pf * v.get(k, j).to_f32();
+            for (o, a) in o_row.iter_mut().zip(&acc) {
+                *o = T::from_f64(f64::from(*a));
             }
-        }
-        for (j, a) in acc.iter().enumerate() {
-            out.set(r, j, T::from_f64(*a as f64));
-        }
-    }
+        });
     Ok(out)
 }
 
@@ -228,21 +242,24 @@ pub fn reference_attention<T: Scalar>(
         )));
     }
     let mut out = Matrix::zeros(l, d_head);
-    for r in 0..l {
-        let mut acc = vec![0.0f32; d_head];
-        for c in 0..p.cols() {
-            let pv = p.get(r, c).to_f32();
-            if pv == 0.0 {
-                continue;
+    out.as_mut_slice()
+        .par_chunks_mut(d_head.max(1))
+        .enumerate()
+        .for_each(|(r, o_row)| {
+            let mut acc = vec![0.0f32; d_head];
+            for c in 0..p.cols() {
+                let pv = p.get(r, c).to_f32();
+                if pv == 0.0 {
+                    continue;
+                }
+                for (j, a) in acc.iter_mut().enumerate() {
+                    *a += pv * v.get(c, j).to_f32();
+                }
             }
-            for (j, a) in acc.iter_mut().enumerate() {
-                *a += pv * v.get(c, j).to_f32();
+            for (o, a) in o_row.iter_mut().zip(&acc) {
+                *o = T::from_f64(f64::from(*a));
             }
-        }
-        for (j, a) in acc.iter().enumerate() {
-            out.set(r, j, T::from_f64(*a as f64));
-        }
-    }
+        });
     Ok(out)
 }
 

@@ -139,14 +139,13 @@ pub fn sddmm<T: Scalar>(
     }
     let b = layout.block();
     let d = q.cols();
-    let blocks = layout
-        .iter_blocks()
-        .map(|(br, bc)| {
-            let qb = q.block(br * b, 0, b, d).expect("in range");
-            let kb = k.block(bc * b, 0, b, d).expect("in range");
-            matmul_transpose_b(&qb, &kb).expect("dims match")
-        })
-        .collect();
+    // Retained blocks are independent output tiles: one map entry each.
+    let coords: Vec<(usize, usize)> = layout.iter_blocks().collect();
+    let blocks = resoftmax_parallel::parallel_map(&coords, |_, &(br, bc)| {
+        let qb = q.block(br * b, 0, b, d).expect("in range");
+        let kb = k.block(bc * b, 0, b, d).expect("in range");
+        matmul_transpose_b(&qb, &kb).expect("dims match")
+    });
     Ok(BlockSparseMatrix {
         layout: layout.clone(),
         blocks,
@@ -160,45 +159,41 @@ pub fn sddmm<T: Scalar>(
 /// to write into).
 pub fn block_sparse_softmax<T: Scalar>(scores: &BlockSparseMatrix<T>) -> BlockSparseMatrix<T> {
     let b = scores.layout.block();
-    let n = scores.layout.n_blocks();
     let mut out = scores.clone();
 
-    // Index retained blocks by block-row for direct access.
-    let order: Vec<(usize, usize)> = scores.layout.iter_blocks().collect();
-    for br in 0..n {
-        let row_block_ids: Vec<usize> = order
-            .iter()
-            .enumerate()
-            .filter(|(_, &(r, _))| r == br)
-            .map(|(i, _)| i)
-            .collect();
-        if row_block_ids.is_empty() {
-            continue;
+    // BSR order keeps each block-row's retained blocks contiguous, and rows
+    // reduce only over their own support — block-rows parallelize bit-exactly.
+    let row_ptr = scores.layout.row_ptr();
+    let lens: Vec<usize> = row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
+    resoftmax_parallel::parallel_ranges_mut(&mut out.blocks, &lens, |br, row_blocks| {
+        if row_blocks.is_empty() {
+            return;
         }
+        let src_row = &scores.blocks[row_ptr[br]..row_ptr[br] + row_blocks.len()];
         for within in 0..b {
             // max over support
             let mut m = f64::NEG_INFINITY;
-            for &bi in &row_block_ids {
+            for blk in src_row {
                 for c in 0..b {
-                    m = m.max(scores.blocks[bi].get(within, c).to_f64());
+                    m = m.max(blk.get(within, c).to_f64());
                 }
             }
             // normalizer
             let mut d = 0.0f64;
-            for &bi in &row_block_ids {
+            for blk in src_row {
                 for c in 0..b {
-                    d += (scores.blocks[bi].get(within, c).to_f64() - m).exp();
+                    d += (blk.get(within, c).to_f64() - m).exp();
                 }
             }
             // scale
-            for &bi in &row_block_ids {
+            for (ob, blk) in row_blocks.iter_mut().zip(src_row) {
                 for c in 0..b {
-                    let y = (scores.blocks[bi].get(within, c).to_f64() - m).exp() / d;
-                    out.blocks[bi].set(within, c, T::from_f64(y));
+                    let y = (blk.get(within, c).to_f64() - m).exp() / d;
+                    ob.set(within, c, T::from_f64(y));
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -217,27 +212,33 @@ pub fn spmm<T: Scalar>(p: &BlockSparseMatrix<T>, v: &Matrix<T>) -> Result<Matrix
     let d = v.cols();
     let mut out = Matrix::<T>::zeros(l, d);
     // f64 accumulators per output element, accumulated block by block.
-    let mut acc = vec![0.0f64; l * d];
-    for ((br, bc), block) in p.layout.iter_blocks().zip(&p.blocks) {
-        for r in 0..b {
-            for c in 0..b {
-                let pv = block.get(r, c).to_f64();
-                if pv == 0.0 {
-                    continue;
-                }
-                let global_r = br * b + r;
-                let k_row = bc * b + c;
-                for j in 0..d {
-                    acc[global_r * d + j] += pv * v.get(k_row, j).to_f64();
+    // Each block-row touches only its own band of `b` output rows, so bands
+    // parallelize with per-element accumulation order unchanged (the blocks
+    // of one block-row are consecutive in BSR order).
+    let row_ptr = p.layout.row_ptr();
+    let order: Vec<(usize, usize)> = p.layout.iter_blocks().collect();
+    resoftmax_parallel::parallel_chunks_mut(out.as_mut_slice(), (b * d).max(1), |br, band| {
+        let mut acc = vec![0.0f64; band.len()];
+        for bi in row_ptr[br]..row_ptr[br + 1] {
+            let (_, bc) = order[bi];
+            let block = &p.blocks[bi];
+            for r in 0..b {
+                for c in 0..b {
+                    let pv = block.get(r, c).to_f64();
+                    if pv == 0.0 {
+                        continue;
+                    }
+                    let k_row = bc * b + c;
+                    for j in 0..d {
+                        acc[r * d + j] += pv * v.get(k_row, j).to_f64();
+                    }
                 }
             }
         }
-    }
-    for r in 0..l {
-        for j in 0..d {
-            out.set(r, j, T::from_f64(acc[r * d + j]));
+        for (o, a) in band.iter_mut().zip(&acc) {
+            *o = T::from_f64(*a);
         }
-    }
+    });
     Ok(out)
 }
 

@@ -18,6 +18,7 @@
 use crate::matrix::{Matrix, ShapeError};
 use crate::scalar::Scalar;
 use crate::tile::TileDims;
+use rayon::prelude::*;
 
 /// Naive matrix multiply `A (m×k) · B (k×n)` with `f64` accumulation.
 ///
@@ -36,15 +37,20 @@ pub fn matmul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>, Shap
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f64;
-            for p in 0..k {
-                acc += a.get(i, p).to_f64() * b.get(p, j).to_f64();
+    // Rows of the output are independent (the k-reduction happens entirely
+    // within one row's dot products), so row bands parallelize bit-exactly.
+    out.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            for (j, o) in row.iter_mut().enumerate() {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a.get(i, p).to_f64() * b.get(p, j).to_f64();
+                }
+                *o = T::from_f64(acc);
             }
-            out.set(i, j, T::from_f64(acc));
-        }
-    }
+        });
     Ok(out)
 }
 
@@ -69,15 +75,18 @@ pub fn matmul_transpose_b<T: Scalar>(
     }
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f64;
-            for p in 0..k {
-                acc += a.get(i, p).to_f64() * b.get(j, p).to_f64();
+    out.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, row)| {
+            for (j, o) in row.iter_mut().enumerate() {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a.get(i, p).to_f64() * b.get(j, p).to_f64();
+                }
+                *o = T::from_f64(acc);
             }
-            out.set(i, j, T::from_f64(acc));
-        }
-    }
+        });
     Ok(out)
 }
 
@@ -108,28 +117,36 @@ pub fn matmul_tiled<T: Scalar>(
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
-    for tr in (0..m).step_by(tiles.h) {
-        for tc in (0..n).step_by(tiles.w) {
-            let th = tiles.h.min(m - tr);
-            let tw = tiles.w.min(n - tc);
-            // Accumulator tile resident "on chip".
-            let mut acc = vec![0.0f32; th * tw];
-            for p in 0..k {
-                // One LHS column fragment and RHS row fragment: rank-1 update.
+    // One band of tile-rows per chunk: every tile is computed by exactly one
+    // worker with its own accumulator, in the same within-tile order as the
+    // serial loop, so results are bit-identical at any thread count.
+    out.as_mut_slice()
+        .par_chunks_mut((tiles.h * n).max(1))
+        .enumerate()
+        .for_each(|(strip, band)| {
+            let tr = strip * tiles.h;
+            let th = band.len().checked_div(n).unwrap_or(0);
+            for tc in (0..n).step_by(tiles.w) {
+                let tw = tiles.w.min(n - tc);
+                // Accumulator tile resident "on chip".
+                let mut acc = vec![0.0f32; th * tw];
+                for p in 0..k {
+                    // One LHS column fragment and RHS row fragment: rank-1
+                    // update.
+                    for r in 0..th {
+                        let av = a.get(tr + r, p).to_f32();
+                        for c in 0..tw {
+                            acc[r * tw + c] += av * b.get(p, tc + c).to_f32();
+                        }
+                    }
+                }
                 for r in 0..th {
-                    let av = a.get(tr + r, p).to_f32();
                     for c in 0..tw {
-                        acc[r * tw + c] += av * b.get(p, tc + c).to_f32();
+                        band[r * n + tc + c] = T::from_f32(acc[r * tw + c]);
                     }
                 }
             }
-            for r in 0..th {
-                for c in 0..tw {
-                    out.set(tr + r, tc + c, T::from_f32(acc[r * tw + c]));
-                }
-            }
-        }
-    }
+        });
     Ok(out)
 }
 

@@ -1,11 +1,16 @@
 //! Offline vendored substitute for `rayon` (see `vendor/README.md`).
 //!
-//! The workspace uses rayon only as a drop-in data-parallel iterator over
-//! row chunks (`par_chunks_mut(..).enumerate().for_each(..)`), always with
-//! order-independent bodies. This substitute returns the standard
-//! sequential iterators, which satisfy the same contract (every chunk
-//! visited exactly once) minus the parallel speedup — acceptable in the
-//! hermetic build, where correctness tests, not wall-clock, are the gate.
+//! The workspace uses rayon only as a data-parallel iterator over row
+//! chunks (`par_chunks_mut(..).enumerate().for_each(..)`), always with
+//! order-independent bodies over disjoint chunks. This substitute keeps
+//! that exact call-site surface but delegates execution to the
+//! `resoftmax-parallel` work-stealing pool, so every existing call site
+//! runs genuinely parallel — with bit-identical results at any thread
+//! count, because chunk bodies never share output state (see `DESIGN.md`
+//! §8 for the determinism contract).
+//!
+//! `RESOFTMAX_THREADS=1` (or a single-core host) degrades to the same
+//! sequential visitation the previous stub performed.
 
 pub mod prelude {
     //! Rayon's one-stop import, re-exporting the slice traits.
@@ -13,24 +18,71 @@ pub mod prelude {
 }
 
 pub mod slice {
-    //! Parallel operations on slices (sequential fallbacks).
+    //! Parallel operations on slices, backed by `resoftmax-parallel`.
 
     /// Mutable slice chunking with rayon's method names.
-    pub trait ParallelSliceMut<T> {
+    pub trait ParallelSliceMut<T: Send> {
         /// Yields non-overlapping mutable chunks of length `chunk_size`
-        /// (last may be shorter). Sequential stand-in for rayon's
-        /// `ParChunksMut`; `std::slice::ChunksMut` offers the same
-        /// `enumerate`/`for_each` combinators through `Iterator`.
+        /// (last may be shorter) for parallel consumption via
+        /// [`ParChunksMut::for_each`] or
+        /// [`EnumerateParChunksMut::for_each`].
         ///
         /// # Panics
         ///
-        /// Panics if `chunk_size` is zero (as both std and rayon do).
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// `for_each` panics if `chunk_size` is zero (as rayon does).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                data: self,
+                chunk_size,
+            }
+        }
+    }
+
+    /// Pending parallel iteration over mutable chunks (rayon's
+    /// `ChunksMut` parallel iterator, reduced to the combinators the
+    /// workspace uses).
+    pub struct ParChunksMut<'a, T> {
+        data: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+            EnumerateParChunksMut { inner: self }
+        }
+
+        /// Runs `f` on every chunk, in parallel across the pool.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            resoftmax_parallel::parallel_chunks_mut(self.data, self.chunk_size, |_, chunk| {
+                f(chunk);
+            });
+        }
+    }
+
+    /// Enumerated variant of [`ParChunksMut`].
+    pub struct EnumerateParChunksMut<'a, T> {
+        inner: ParChunksMut<'a, T>,
+    }
+
+    impl<T: Send> EnumerateParChunksMut<'_, T> {
+        /// Runs `f` on every `(index, chunk)` pair, in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            resoftmax_parallel::parallel_chunks_mut(
+                self.inner.data,
+                self.inner.chunk_size,
+                |i, chunk| f((i, chunk)),
+            );
         }
     }
 }
@@ -48,5 +100,31 @@ mod tests {
             }
         });
         assert_eq!(data, [1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn unenumerated_for_each_visits_every_chunk() {
+        let mut data = vec![0u8; 7];
+        data.par_chunks_mut(2).for_each(|chunk| chunk.fill(9));
+        assert_eq!(data, [9; 7]);
+    }
+
+    #[test]
+    fn large_input_matches_sequential_reference() {
+        resoftmax_parallel::set_thread_override(Some(4));
+        let mut par: Vec<f64> = (0..20_000).map(|i| f64::from(i) * 0.25).collect();
+        let mut ser = par.clone();
+        par.par_chunks_mut(17).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = x.sqrt() + i as f64;
+            }
+        });
+        resoftmax_parallel::set_thread_override(None);
+        for (i, chunk) in ser.chunks_mut(17).enumerate() {
+            for x in chunk {
+                *x = x.sqrt() + i as f64;
+            }
+        }
+        assert_eq!(par, ser);
     }
 }
