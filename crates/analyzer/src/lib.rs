@@ -62,6 +62,7 @@ use resoftmax_gpusim::KernelDesc;
 /// Diagnostics are returned sorted by severity (errors first), then by
 /// kernel index. An empty vector means the schedule passed every check.
 pub fn analyze(spec: &ScheduleSpec, kernels: &[KernelDesc]) -> Vec<Diagnostic> {
+    let _span = resoftmax_obs::span!("analyze", "analyzer");
     let mut diags = Vec::new();
     fsm::check(spec, kernels, &mut diags);
     fusion::check(spec, kernels, &mut diags);

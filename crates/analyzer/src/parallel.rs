@@ -9,7 +9,7 @@
 //! would combine in a parallelism-dependent order.
 //!
 //! This rule checks each kernel's declared
-//! [`ParallelSplit`](resoftmax_gpusim::ParallelSplit) against the reduction
+//! [`ParallelSplit`] against the reduction
 //! structure its category implies:
 //!
 //! * Row-reducing kernels (monolithic softmax, IR, LayerNorm, fused online

@@ -4,13 +4,17 @@
 //! the schedule generator.
 //!
 //! ```text
-//! cargo run --release -p resoftmax-bench --bin analyze
+//! cargo run --release -p resoftmax-bench --bin analyze [-- --trace out.json]
 //! ```
 //!
 //! The grid mirrors `reproduce_all` (see [`resoftmax_bench::analysis_grid`]).
 //! Combos are analyzed in parallel via `resoftmax-parallel`; findings are
 //! buffered per combo and printed in grid order, so the output is
 //! byte-identical at any thread count.
+//!
+//! `--trace [out.json]` force-enables observability for this process (the
+//! equivalent of `RESOFTMAX_TRACE=1 RESOFTMAX_METRICS=1`) and writes the
+//! merged chrome-trace of the sweep on exit.
 
 use std::fmt::Write as _;
 
@@ -58,6 +62,16 @@ fn analyze_one(model: &ModelConfig, params: &RunParams) -> ComboResult {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        resoftmax_obs::set_trace_enabled(Some(true));
+        resoftmax_obs::set_metrics_enabled(Some(true));
+        args.get(i + 1)
+            .filter(|p| p.ends_with(".json"))
+            .cloned()
+            .unwrap_or_else(|| "resoftmax_trace.json".to_owned())
+    });
+
     let grid = analysis_grid();
     let results =
         resoftmax_parallel::parallel_map(&grid, |_, (model, params)| analyze_one(model, params));
@@ -78,6 +92,13 @@ fn main() {
         errors,
         warnings
     );
+    if let Some(path) = trace_path {
+        let rec = resoftmax_obs::recorder();
+        rec.write(&resoftmax_obs::ChromeTraceSink, &path)
+            .expect("writable trace output path");
+        eprint!("{}", rec.export(&resoftmax_obs::SummarySink));
+        eprintln!("trace: wrote {path}");
+    }
     if errors > 0 {
         std::process::exit(1);
     }

@@ -8,7 +8,7 @@
 
 use resoftmax_bench::{device_from_args, PAPER_SEQ_LEN};
 use resoftmax_gpusim::chrome_trace::to_chrome_trace;
-use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
+use resoftmax_model::{ModelConfig, RunParams, Session, SoftmaxStrategy};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,12 +39,15 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "trace.json".to_owned());
 
-    let report = run_inference(
-        &model,
-        &RunParams::new(PAPER_SEQ_LEN).strategy(strategy),
-        device.clone(),
-    )
-    .expect("launchable");
+    let report = Session::builder()
+        .model(model.clone())
+        .device(device.clone())
+        .params(RunParams::new(PAPER_SEQ_LEN))
+        .strategy(strategy)
+        .build()
+        .expect("valid configuration")
+        .run()
+        .expect("launchable");
     let json = to_chrome_trace(&report.timeline);
     std::fs::write(&path, &json).expect("writable output path");
     println!(

@@ -4,7 +4,9 @@
 //! SDF 1.25× / 1.12× / 1.57× / 1.65×; softmax off-chip traffic reduced
 //! 1.58–2.51×; average latency −28% and off-chip access energy −29%.
 
-use resoftmax_bench::{device_from_args, json_requested, print_json, PAPER_SEQ_LEN};
+use resoftmax_bench::{
+    device_from_args, json_requested, print_json, write_trace_if_enabled, PAPER_SEQ_LEN,
+};
 use resoftmax_core::experiments::fig8_sd_sdf;
 use resoftmax_core::format::{gb, ms, pct, render_table, speedup};
 use resoftmax_gpusim::KernelCategory;
@@ -17,6 +19,7 @@ fn main() {
     let rows = fig8_sd_sdf(&device, PAPER_SEQ_LEN, 1).expect("launchable");
     if json_requested(&args) {
         print_json(&rows);
+        write_trace_if_enabled();
         return;
     }
     let table: Vec<Vec<String>> = rows
@@ -70,6 +73,14 @@ fn main() {
     println!("Paper abstract: latency -28%, off-chip access energy -29%");
 
     // Fig. 8(a)'s stacked bars: the per-category composition per strategy.
+    // When metrics are on, the sweep doubles as a consistency check: the
+    // runs below execute serially, so the `sim.dram_bytes.*` counters must
+    // equal the run-ordered sum of each report's breakdown bit-for-bit.
+    let reconcile = resoftmax_obs::metrics_enabled();
+    if reconcile {
+        resoftmax_obs::reset_metrics();
+    }
+    let mut expected: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
     println!("\nPer-strategy composition (Fig. 8(a) stacks):\n");
     let mut stack_rows = Vec::new();
     for model in ModelConfig::all_eval_models() {
@@ -85,6 +96,11 @@ fn main() {
             )
             .expect("launchable");
             let b = r.breakdown();
+            if reconcile {
+                for c in &b.categories {
+                    *expected.entry(c.category.label().to_owned()).or_insert(0.0) += c.dram_bytes();
+                }
+            }
             let total = b.total_time_s();
             let frac = |cats: &[KernelCategory]| -> String {
                 pct(cats.iter().map(|&c| b.time_of(c)).sum::<f64>() / total)
@@ -115,4 +131,20 @@ fn main() {
             &stack_rows
         )
     );
+
+    if reconcile {
+        let snap = resoftmax_obs::metrics_snapshot();
+        for (label, bytes) in &expected {
+            let counter = snap.value(&format!("sim.dram_bytes.{label}"));
+            assert!(
+                counter == *bytes,
+                "counter sim.dram_bytes.{label} = {counter} != breakdown sum {bytes}"
+            );
+        }
+        println!(
+            "\nobservability: {} per-category DRAM counters reconcile with RunReport::breakdown exactly",
+            expected.len()
+        );
+    }
+    write_trace_if_enabled();
 }

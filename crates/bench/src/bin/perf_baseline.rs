@@ -10,6 +10,11 @@
 //! The thread count of the parallel leg honors `RESOFTMAX_THREADS` (else
 //! all available cores); the serial leg pins the in-process override to 1,
 //! so one invocation measures both legs on identical state.
+//!
+//! A final pair of legs measures the observability layer: the experiment
+//! suite with the trace/metrics switches forced off and forced on. Rows
+//! must be identical in both states; the report records the enabled-mode
+//! overhead and how much the recorder captured.
 
 use std::time::Instant;
 
@@ -40,11 +45,21 @@ impl Leg {
 }
 
 #[derive(Serialize)]
+struct ObsLeg {
+    disabled_s: f64,
+    enabled_s: f64,
+    enabled_overhead: f64,
+    spans_recorded: usize,
+    streams_recorded: usize,
+}
+
+#[derive(Serialize)]
 struct Report {
     threads_parallel: usize,
     analyze: Leg,
     experiments: Leg,
     total: Leg,
+    observability: ObsLeg,
 }
 
 /// The `analyze` binary's sweep: every schedule built and statically checked.
@@ -115,6 +130,28 @@ fn main() {
         "experiment rows must be identical at any thread count"
     );
 
+    // Observability legs: the full experiment suite with the switches forced
+    // off, then forced on (spans + counters + sim streams recorded). Rows
+    // must be identical — instrumentation observes, it never perturbs. The
+    // disabled leg IS the default path (one relaxed atomic load per site),
+    // so `experiments` above already measures the disabled cost.
+    resoftmax_obs::set_trace_enabled(Some(false));
+    resoftmax_obs::set_metrics_enabled(Some(false));
+    let (rows_obs_off, obs_off_s) = timed(run_experiments);
+    resoftmax_obs::set_trace_enabled(Some(true));
+    resoftmax_obs::set_metrics_enabled(Some(true));
+    resoftmax_obs::reset();
+    let (rows_obs_on, obs_on_s) = timed(run_experiments);
+    let spans_recorded = resoftmax_obs::recorder().spans().len();
+    let streams_recorded = resoftmax_obs::recorder().sim_streams().len();
+    resoftmax_obs::reset();
+    resoftmax_obs::set_trace_enabled(Some(false));
+    resoftmax_obs::set_metrics_enabled(Some(false));
+    assert_eq!(
+        rows_obs_off, rows_obs_on,
+        "experiment rows must be identical with observability on or off"
+    );
+
     let report = Report {
         threads_parallel: threads,
         analyze: Leg::new(analyze_serial_s, analyze_parallel_s),
@@ -123,6 +160,13 @@ fn main() {
             analyze_serial_s + experiments_serial_s,
             analyze_parallel_s + experiments_parallel_s,
         ),
+        observability: ObsLeg {
+            disabled_s: obs_off_s,
+            enabled_s: obs_on_s,
+            enabled_overhead: obs_on_s / obs_off_s - 1.0,
+            spans_recorded,
+            streams_recorded,
+        },
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark report");
@@ -137,5 +181,13 @@ fn main() {
         threads,
         report.experiments.speedup
     );
-    println!("results identical across thread counts; report written to {out_path}");
+    println!(
+        "observability:  {:.3}s disabled / {:.3}s enabled ({:+.1}% when on; {} spans, {} sim streams)",
+        report.observability.disabled_s,
+        report.observability.enabled_s,
+        report.observability.enabled_overhead * 100.0,
+        report.observability.spans_recorded,
+        report.observability.streams_recorded,
+    );
+    println!("results identical across thread counts and observability states; report written to {out_path}");
 }

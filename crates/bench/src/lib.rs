@@ -50,6 +50,25 @@ pub fn print_json<T: serde::Serialize>(rows: &T) {
     );
 }
 
+/// If tracing is on (`RESOFTMAX_TRACE`, or forced programmatically), writes
+/// the merged chrome-trace of everything recorded so far to the trace output
+/// path and returns it; does nothing when tracing is off.
+///
+/// Every experiment binary calls this on exit, so
+/// `RESOFTMAX_TRACE=out.json cargo run --bin fig8_sd_sdf` yields one JSON
+/// file merging the wall-clock spans (engine, simulator, parallel runtime)
+/// with the simulated kernel timeline of every run, viewable in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn write_trace_if_enabled() -> Option<String> {
+    let path = resoftmax_obs::trace_output_path()?;
+    let rec = resoftmax_obs::recorder();
+    rec.write(&resoftmax_obs::ChromeTraceSink, &path)
+        .expect("writable trace output path");
+    let (spans, streams) = (rec.spans().len(), rec.sim_streams().len());
+    eprintln!("trace: wrote {path} ({spans} wall-clock spans, {streams} simulated streams)");
+    Some(path)
+}
+
 /// The complete static-analysis grid the `analyze` binary (and the
 /// `perf_baseline` harness) sweeps: the evaluation models (plus the two
 /// extra presets) × the four softmax strategies × the Fig. 9 sequence

@@ -66,6 +66,40 @@ pub fn to_chrome_trace(timeline: &Timeline) -> String {
     out
 }
 
+/// Converts a timeline into observability [`SimEvent`](resoftmax_obs::SimEvent)s, laid out
+/// back-to-back from t = 0 exactly like [`to_chrome_trace`], with the same
+/// accounting `args`. The caller hands the result to
+/// [`Recorder::add_sim_stream`](resoftmax_obs::Recorder::add_sim_stream)
+/// together with a wall-clock anchor, so the merged trace shows the virtual
+/// kernel sequence nested under the real span of the run that produced it.
+pub fn to_obs_events(timeline: &Timeline) -> Vec<resoftmax_obs::SimEvent> {
+    let mut now_us = 0.0f64;
+    timeline
+        .kernels()
+        .iter()
+        .map(|k| {
+            let dur_us = k.time_s * 1e6;
+            let ev = resoftmax_obs::SimEvent {
+                name: k.name.clone(),
+                category: k.category.label().to_owned(),
+                track: k.category as u32,
+                start_us: now_us,
+                dur_us,
+                args: vec![
+                    ("dram_read_mb", k.dram_read_bytes / 1e6),
+                    ("dram_write_mb", k.dram_write_bytes / 1e6),
+                    ("l2_hit_mb", k.l2_hit_bytes / 1e6),
+                    ("gflops", k.flops / 1e9),
+                    ("bw_fraction", k.achieved_bw_fraction),
+                    ("energy_mj", k.energy_j * 1e3),
+                ],
+            };
+            now_us += dur_us;
+            ev
+        })
+        .collect()
+}
+
 /// Minimal JSON string escaping for kernel names.
 fn json_string(s: &str) -> String {
     use std::fmt::Write as _;

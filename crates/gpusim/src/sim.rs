@@ -137,6 +137,17 @@ impl Gpu {
     /// Returns [`LaunchError`] if a single thread block exceeds SM resources.
     pub fn launch(&mut self, kernel: &KernelDesc) -> Result<KernelStats, LaunchError> {
         let occ = occupancy(&self.device, &kernel.shape)?;
+        if resoftmax_obs::metrics_enabled() {
+            resoftmax_obs::counter("sim.kernels_launched").incr();
+        }
+        // Span only the heterogeneous kernels: uniform grids are O(1)
+        // closed-form and would flood the trace with sub-µs events.
+        let _span =
+            if matches!(kernel.tbs, TbSet::Uniform { .. }) || !resoftmax_obs::trace_enabled() {
+                None
+            } else {
+                Some(resoftmax_obs::span(kernel.name.clone(), "gpusim"))
+            };
         let traffic = self.l2.access(kernel);
 
         // Scale per-TB DRAM reads by the kernel-wide L2 hit ratio.
@@ -190,6 +201,7 @@ impl Gpu {
     ///
     /// Returns the first [`LaunchError`] encountered.
     pub fn run(&mut self, kernels: &[KernelDesc]) -> Result<(), LaunchError> {
+        let _span = resoftmax_obs::span!("Gpu::run", "gpusim");
         for k in kernels {
             self.launch(k)?;
         }
@@ -273,6 +285,10 @@ impl Gpu {
         let mut active: Vec<Active> = Vec::new();
         let mut in_flight: u64 = 0;
         let mut now = 0.0f64;
+        // Instrumentation totals, accumulated locally and flushed once per
+        // kernel so the event loop never touches shared atomics.
+        let mut event_steps: u64 = 0;
+        let mut fast_path_waves: u64 = 0;
 
         loop {
             // Wave-class fast path: with the machine idle and the front group
@@ -303,6 +319,8 @@ impl Gpu {
                         while !wave.is_empty() {
                             dts.push(self.event_step(&mut wave, &mut wave_in_flight));
                         }
+                        event_steps += dts.len() as u64;
+                        fast_path_waves += full_waves;
                         for _ in 0..full_waves {
                             for &dt in &dts {
                                 now += dt;
@@ -339,6 +357,11 @@ impl Gpu {
                 break;
             }
             now += self.event_step(&mut active, &mut in_flight);
+            event_steps += 1;
+        }
+        if resoftmax_obs::metrics_enabled() {
+            resoftmax_obs::counter("sim.event_steps").add(event_steps);
+            resoftmax_obs::counter("sim.wave_fast_path_waves").add(fast_path_waves);
         }
         now
     }

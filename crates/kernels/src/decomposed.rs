@@ -201,6 +201,7 @@ pub fn global_scale<T: Scalar>(
 ///
 /// Returns [`ShapeError`] if `t` does not divide the row length.
 pub fn decomposed_softmax<T: Scalar>(x: &Matrix<T>, t: usize) -> Result<Matrix<T>, ShapeError> {
+    let _span = resoftmax_obs::span!("decomposed_softmax", "kernels");
     let ls = local_softmax(x, t)?;
     let ir = inter_reduce(&ls.m_prime, &ls.d_prime);
     global_scale(&ls.x_prime, &ir.r_prime, t)

@@ -66,6 +66,7 @@ pub fn fused_qk_ls<T: Scalar>(
         assert_eq!(m.len(), l * l, "mask length mismatch");
     }
     let d_head = q.cols();
+    let _span = resoftmax_obs::span!("fused_qk_ls", "kernels");
 
     let mut x_prime = Matrix::zeros(l, l);
     let mut m_prime = Matrix::zeros(l, n_sv);
@@ -160,6 +161,7 @@ pub fn fused_gs_pv<T: Scalar>(
         )));
     }
     let d_head = v.cols();
+    let _span = resoftmax_obs::span!("fused_gs_pv", "kernels");
     let mut out = Matrix::zeros(l, d_head);
     out.as_mut_slice()
         .par_chunks_mut(d_head.max(1))
@@ -202,6 +204,7 @@ pub fn recomposed_attention<T: Scalar>(
     scale: f64,
     mask: Option<&[bool]>,
 ) -> Result<(Matrix<T>, InterReductionOutput<T>), ShapeError> {
+    let _span = resoftmax_obs::span!("recomposed_attention", "kernels");
     let ls = fused_qk_ls(q, k, t, scale, mask)?;
     let ir = inter_reduce(&ls.m_prime, &ls.d_prime);
     let out = fused_gs_pv(&ls.x_prime, &ir.r_prime, v, t)?;
@@ -224,6 +227,7 @@ pub fn reference_attention<T: Scalar>(
     use crate::softmax::{apply_mask, softmax_rows};
     use resoftmax_tensor::{matmul_transpose_b, scale as scale_op};
 
+    let _span = resoftmax_obs::span!("reference_attention", "kernels");
     let scores = matmul_transpose_b(q, k)?;
     let scaled = scale_op(&scores, scale);
     let masked = match mask {

@@ -56,6 +56,7 @@ pub fn online_attention<T: Scalar>(
     if t == 0 || !l.is_multiple_of(t) {
         return Err(ShapeError::new(format!("tile {t} must divide L {l}")));
     }
+    let _span = resoftmax_obs::span!("online_attention", "kernels");
     if let Some(m) = mask {
         assert_eq!(m.len(), l * l, "mask length mismatch");
     }
@@ -277,6 +278,7 @@ pub fn bs_online_attention<T: Scalar>(
             v.shape()
         )));
     }
+    let _span = resoftmax_obs::span!("bs_online_attention", "kernels");
     let b = layout.block();
     let d_head = q.cols();
     let d_out = v.cols();

@@ -42,6 +42,18 @@ impl AttentionKind {
         !matches!(self, AttentionKind::Dense { .. })
     }
 
+    /// The square block side of this kind's attention pattern (64 for dense
+    /// kinds, which only use blocks through sparse fallback paths).
+    /// [`layout`](Self::layout) requires `seq_len` to be a multiple of this.
+    pub fn block_size(&self) -> usize {
+        match self {
+            AttentionKind::Dense { .. } => 64,
+            AttentionKind::BigBird { config } => config.block,
+            AttentionKind::Longformer { config } => config.block,
+            AttentionKind::Strided { block, .. } => *block,
+        }
+    }
+
     /// Materializes the block layout for a sequence length (dense kinds get
     /// a fully dense layout of block 64 for uniform treatment by sparse
     /// fallback paths).

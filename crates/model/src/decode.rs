@@ -12,7 +12,7 @@
 use crate::config::{AttentionKind, ModelConfig};
 use crate::engine::RunReport;
 use crate::schedule::{RunParams, SoftmaxStrategy};
-use resoftmax_gpusim::{DeviceSpec, Gpu, KernelCategory, KernelDesc, LaunchError, TbShape, TbWork};
+use resoftmax_gpusim::{DeviceSpec, KernelCategory, KernelDesc, LaunchError, TbShape, TbWork};
 use resoftmax_kernels::costs::{
     buf, common, EXP_FLOP_EQUIV, FP16_BYTES, SOFTMAX_PHASE_EFFICIENCY, STREAM_EFFICIENCY,
 };
@@ -251,6 +251,12 @@ pub fn build_decode_schedule(
 
 /// Simulates generating one token at context length `ctx`.
 ///
+/// Legacy free-function entry point. Prefer
+/// [`Session::decode_step`](crate::Session::decode_step), which checks the
+/// dense-attention and strategy preconditions up front and returns
+/// [`Error::InvalidConfig`](crate::Error::InvalidConfig) instead of
+/// panicking.
+///
 /// # Errors
 ///
 /// Returns [`LaunchError`] if a kernel cannot launch.
@@ -265,15 +271,7 @@ pub fn run_decode_step(
     device: DeviceSpec,
 ) -> Result<RunReport, LaunchError> {
     let schedule = build_decode_schedule(model, ctx, params);
-    let device_name = device.name.clone();
-    let mut gpu = Gpu::new(device);
-    gpu.run(&schedule)?;
-    Ok(RunReport {
-        model: model.name.clone(),
-        device: device_name,
-        params: params.clone(),
-        timeline: gpu.into_timeline(),
-    })
+    crate::engine::simulate_schedule("decode_step", model, params, device, &schedule)
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 
 use crate::config::ModelConfig;
 use crate::schedule::{build_schedule, RunParams};
-use resoftmax_gpusim::{Breakdown, DeviceSpec, Gpu, KernelCategory, LaunchError, Timeline};
+use resoftmax_gpusim::{
+    Breakdown, DeviceSpec, Gpu, KernelCategory, KernelDesc, LaunchError, Timeline,
+};
 use serde::{Deserialize, Serialize};
 
 /// The result of simulating one inference iteration.
@@ -71,6 +73,11 @@ impl RunReport {
 
 /// Simulates one inference iteration of `model` on `device`.
 ///
+/// Legacy free-function entry point, kept for existing callers and quick
+/// scripts. Prefer [`Session`](crate::Session): it validates the
+/// model/device/parameter combination up front, runs the static analyzer,
+/// and reports everything through the unified [`Error`](crate::Error) type.
+///
 /// # Errors
 ///
 /// Returns [`LaunchError`] if any kernel's thread block exceeds the device's
@@ -97,14 +104,55 @@ pub fn run_inference(
     device: DeviceSpec,
 ) -> Result<RunReport, LaunchError> {
     let schedule = build_schedule(model, params);
+    simulate_schedule("run_inference", model, params, device, &schedule)
+}
+
+/// Shared execution path of [`run_inference`], `run_decode_step` and the
+/// [`Session`](crate::Session) API: executes `schedule` on a fresh GPU and
+/// packages the report, recording observability state when enabled —
+/// a `"model"`-category span around the run, the simulated kernel timeline
+/// as a [`resoftmax_obs::SimStream`] anchored at the run's wall-clock start,
+/// and per-category DRAM-byte counters (exactly one accumulation of each
+/// category's breakdown total per run, so counters reconcile bit-exactly
+/// against [`RunReport::breakdown`]).
+pub(crate) fn simulate_schedule(
+    kind: &'static str,
+    model: &ModelConfig,
+    params: &RunParams,
+    device: DeviceSpec,
+    schedule: &[KernelDesc],
+) -> Result<RunReport, LaunchError> {
+    let mut stream: Option<(String, f64)> = None;
+    let _span = if resoftmax_obs::trace_enabled() {
+        let label = format!(
+            "{}/{}/L{}b{}",
+            model.name,
+            params.strategy.label(),
+            params.seq_len,
+            params.batch
+        );
+        stream = Some((label.clone(), resoftmax_obs::recorder().now_us()));
+        Some(resoftmax_obs::span(format!("{kind} {label}"), "model"))
+    } else {
+        None
+    };
     let device_name = device.name.clone();
     let mut gpu = Gpu::new(device);
-    gpu.run(&schedule)?;
+    gpu.run(schedule)?;
+    let timeline = gpu.into_timeline();
+    timeline.record_metrics();
+    if let Some((label, anchor_us)) = stream {
+        resoftmax_obs::recorder().add_sim_stream(
+            label,
+            anchor_us,
+            resoftmax_gpusim::chrome_trace::to_obs_events(&timeline),
+        );
+    }
     Ok(RunReport {
         model: model.name.clone(),
         device: device_name,
         params: params.clone(),
-        timeline: gpu.into_timeline(),
+        timeline,
     })
 }
 

@@ -1,0 +1,92 @@
+//! The crate's unified error type.
+
+use resoftmax_gpusim::LaunchError;
+use std::fmt;
+
+/// Everything that can go wrong when configuring or running a simulated
+/// inference through the [`Session`](crate::Session) API.
+///
+/// Marked `#[non_exhaustive]`: future versions may add variants (match with a
+/// wildcard arm).
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A kernel could not launch on the simulated device (thread block
+    /// exceeds SM resources).
+    Launch(LaunchError),
+    /// The requested model / device / parameter combination is invalid
+    /// (caught up front, before any schedule is built).
+    InvalidConfig {
+        /// What is wrong and, where possible, what would fix it.
+        reason: String,
+    },
+    /// The built schedule failed static analysis (fusion legality, buffer
+    /// dataflow, or traffic conservation — see `resoftmax-analyzer`).
+    Analysis {
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// The rendered diagnostic report.
+        report: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Launch(e) => write!(f, "kernel launch failed: {e}"),
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::Analysis { errors, report } => {
+                write!(
+                    f,
+                    "schedule failed static analysis ({errors} errors):\n{report}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Launch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LaunchError> for Error {
+    fn from(e: LaunchError) -> Self {
+        Error::Launch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidConfig {
+            reason: "batch must be nonzero".into(),
+        };
+        assert!(e.to_string().contains("batch must be nonzero"));
+        let a = Error::Analysis {
+            errors: 2,
+            report: "E001 ...".into(),
+        };
+        assert!(a.to_string().contains("2 errors"));
+    }
+
+    #[test]
+    fn launch_errors_convert_and_chain() {
+        // Provoke a real launch error: a block that cannot fit on any SM.
+        let launch = resoftmax_gpusim::occupancy(
+            &resoftmax_gpusim::DeviceSpec::a100(),
+            &resoftmax_gpusim::TbShape::new(1 << 20, 0, 32),
+        )
+        .unwrap_err();
+        let e: Error = launch.into();
+        assert!(matches!(e, Error::Launch(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -34,17 +34,33 @@
 mod config;
 mod decode;
 mod engine;
+mod error;
 mod library;
 mod schedule;
 mod seq2seq;
+mod session;
 mod training;
 mod workload;
 
 pub use config::{AttentionKind, ModelConfig};
 pub use decode::{build_decode_schedule, run_decode_step};
 pub use engine::{run_inference, RunReport};
+pub use error::Error;
 pub use library::{LibraryProfile, SparseSupport};
 pub use schedule::{analysis_spec, build_schedule, check_schedule, RunParams, SoftmaxStrategy};
 pub use seq2seq::{build_seq2seq_schedule, run_seq2seq, Seq2SeqConfig};
+pub use session::{Session, SessionBuilder};
 pub use training::{build_training_schedule, run_training_iteration};
 pub use workload::{Document, Workload, WorkloadConfig};
+
+/// The items almost every user of this crate needs, importable in one line:
+/// `use resoftmax_model::prelude::*;`.
+pub mod prelude {
+    pub use crate::config::ModelConfig;
+    pub use crate::engine::{run_inference, RunReport};
+    pub use crate::error::Error;
+    pub use crate::library::LibraryProfile;
+    pub use crate::schedule::{RunParams, SoftmaxStrategy};
+    pub use crate::session::{Session, SessionBuilder};
+    pub use resoftmax_gpusim::DeviceSpec;
+}

@@ -1,0 +1,141 @@
+//! End-to-end observability: the engine, the simulator, and the parallel
+//! runtime all feed the one process-wide recorder, and the merged
+//! chrome-trace carries both wall-clock spans and simulated kernel streams.
+//!
+//! The observability switches and the recorder are process-wide, so every
+//! test takes the file-local lock first and leaves the switches off.
+
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::{run_inference, ModelConfig, RunParams, Session, SoftmaxStrategy};
+use std::sync::{Mutex, PoisonError};
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Enables both switches and clears all recorded state.
+fn fresh_enabled() {
+    resoftmax_obs::set_trace_enabled(Some(true));
+    resoftmax_obs::set_metrics_enabled(Some(true));
+    resoftmax_obs::reset();
+}
+
+fn disable() {
+    resoftmax_obs::set_trace_enabled(Some(false));
+    resoftmax_obs::set_metrics_enabled(Some(false));
+}
+
+#[test]
+fn merged_trace_has_spans_from_three_crates_and_sim_streams() {
+    let _g = lock();
+    fresh_enabled();
+
+    // Sweep two strategies through the parallel runtime so the trace picks
+    // up a `parallel` span alongside the `model` and `gpusim` ones.
+    let strategies = [SoftmaxStrategy::Baseline, SoftmaxStrategy::Recomposed];
+    let reports = resoftmax_parallel::parallel_map(&strategies, |_, s| {
+        run_inference(
+            &ModelConfig::bert_large(),
+            &RunParams::new(1024).strategy(*s),
+            DeviceSpec::a100(),
+        )
+        .unwrap()
+    });
+    assert_eq!(reports.len(), 2);
+
+    let spans = resoftmax_obs::recorder().spans();
+    for cat in ["model", "gpusim", "parallel"] {
+        assert!(
+            spans.iter().any(|s| s.category == cat),
+            "no span from crate category {cat:?}; got {:?}",
+            spans
+                .iter()
+                .map(|s| (s.name.clone(), s.category))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // One simulated stream per run, anchored inside the wall-clock session.
+    let streams = resoftmax_obs::recorder().sim_streams();
+    assert_eq!(streams.len(), 2, "one sim stream per simulated run");
+    assert!(streams.iter().any(|s| s.name.contains("SDF")));
+    assert!(streams.iter().all(|s| !s.events.is_empty()));
+
+    // The merged export is one JSON document containing both worlds.
+    let trace = resoftmax_obs::recorder().export(&resoftmax_obs::ChromeTraceSink);
+    let doc: serde_json::Value = serde_json::from_str(&trace).expect("chrome trace parses");
+    let events = doc.as_array().expect("trace is a JSON array");
+    let has_wall = events.iter().any(|e| {
+        e.get("pid").and_then(serde_json::Value::as_u64) == Some(1)
+            && e.get("ph").and_then(serde_json::Value::as_str) == Some("X")
+    });
+    let has_sim = events.iter().any(|e| {
+        e.get("pid")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0)
+            >= 100
+            && e.get("ph").and_then(serde_json::Value::as_str) == Some("X")
+    });
+    assert!(has_wall, "wall-clock complete events present");
+    assert!(has_sim, "simulated kernel events present");
+
+    disable();
+}
+
+#[test]
+fn dram_counters_reconcile_exactly_with_report_breakdown() {
+    let _g = lock();
+    fresh_enabled();
+    // Single-threaded so sweep sums are deterministic run-ordered adds.
+    resoftmax_parallel::set_thread_override(Some(1));
+
+    let report = Session::builder()
+        .model(ModelConfig::bert_large())
+        .device(DeviceSpec::a100())
+        .params(RunParams::new(2048))
+        .strategy(SoftmaxStrategy::Recomposed)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let snap = resoftmax_obs::metrics_snapshot();
+    let breakdown = report.breakdown();
+    assert!(!breakdown.categories.is_empty());
+    for c in &breakdown.categories {
+        let counter = snap.value(&format!("sim.dram_bytes.{}", c.category.label()));
+        assert!(
+            counter == c.dram_bytes(),
+            "category {} counter {counter} != breakdown {}",
+            c.category.label(),
+            c.dram_bytes()
+        );
+    }
+    assert!(snap.value("sim.dram_bytes.total") == breakdown.total_dram_bytes());
+    assert!(snap.value("sim.time_s.total") == report.total_time_s());
+    assert!(snap.count("sim.kernels_launched") > 0);
+
+    resoftmax_parallel::set_thread_override(None);
+    disable();
+}
+
+#[test]
+fn disabled_switches_record_nothing() {
+    let _g = lock();
+    disable();
+    resoftmax_obs::reset();
+
+    run_inference(
+        &ModelConfig::bert_large(),
+        &RunParams::new(512),
+        DeviceSpec::a100(),
+    )
+    .unwrap();
+
+    assert!(resoftmax_obs::recorder().spans().is_empty());
+    assert!(resoftmax_obs::recorder().sim_streams().is_empty());
+    let snap = resoftmax_obs::metrics_snapshot();
+    assert_eq!(snap.count("sim.kernels_launched"), 0);
+    assert!(snap.value("sim.dram_bytes.total") == 0.0);
+}

@@ -1,0 +1,140 @@
+//! RAII wall-clock spans.
+
+use crate::recorder::{recorder, SpanRecord};
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Next thread id to hand out (1-based; 0 is never used).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stable small id for this thread in trace output.
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The calling thread's stable trace id (assigned on first use).
+pub(crate) fn thread_id() -> u64 {
+    THREAD_ID.with(|c| {
+        let mut id = c.get();
+        if id == 0 {
+            id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+        }
+        id
+    })
+}
+
+/// An open span. Dropping it records the interval into the global
+/// [`Recorder`](crate::Recorder). When tracing is disabled this is an empty
+/// shell and both construction and drop are no-ops.
+#[must_use = "a span measures the scope it is bound to; use `let _span = ...`"]
+pub struct Span(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: Cow<'static, str>,
+    category: &'static str,
+    start_us: f64,
+    depth: u32,
+}
+
+/// Opens a span named `name` in `category` (by convention the crate name:
+/// `"model"`, `"gpusim"`, `"kernels"`, `"sparse"`, `"parallel"`,
+/// `"analyzer"`). Prefer the [`span!`](crate::span!) macro.
+///
+/// Accepts `&'static str` (free) or `String` (owning) names.
+pub fn span(name: impl Into<Cow<'static, str>>, category: &'static str) -> Span {
+    if !crate::trace_enabled() {
+        return Span(None);
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    Span(Some(ActiveSpan {
+        name: name.into(),
+        category,
+        start_us: recorder().now_us(),
+        depth,
+    }))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            let end_us = recorder().now_us();
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            recorder().push_span(SpanRecord {
+                name: s.name,
+                category: s.category,
+                thread: thread_id(),
+                depth: s.depth,
+                start_us: s.start_us,
+                dur_us: end_us - s.start_us,
+            });
+        }
+    }
+}
+
+/// Opens a [`Span`]: `span!("name")` or `span!("name", "category")`.
+///
+/// Bind the result — `let _span = resoftmax_obs::span!("pv_matmul",
+/// "kernels");` — so the guard lives for the scope being measured.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name, "uncategorized")
+    };
+    ($name:expr, $category:expr) => {
+        $crate::span($name, $category)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::test_lock();
+        crate::set_trace_enabled(Some(false));
+        {
+            let _s = span("ghost", "test");
+        }
+        assert!(!recorder().spans().iter().any(|s| s.name == "ghost"));
+        crate::set_trace_enabled(None);
+    }
+
+    #[test]
+    fn enabled_spans_nest_and_time() {
+        let _g = crate::test_lock();
+        crate::set_trace_enabled(Some(true));
+        {
+            let _outer = span("nest_outer", "test");
+            let _inner = span("nest_inner", "test");
+        }
+        crate::set_trace_enabled(Some(false));
+        let spans = recorder().spans();
+        let outer = spans.iter().find(|s| s.name == "nest_outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "nest_inner").unwrap();
+        assert_eq!(inner.depth, outer.depth + 1);
+        assert_eq!(inner.thread, outer.thread);
+        // The outer span encloses the inner one.
+        assert!(outer.start_us <= inner.start_us);
+        assert!(outer.start_us + outer.dur_us >= inner.start_us + inner.dur_us);
+        crate::set_trace_enabled(None);
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_nonzero() {
+        let a = thread_id();
+        let b = thread_id();
+        assert_eq!(a, b);
+        assert!(a > 0);
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(a, other);
+    }
+}

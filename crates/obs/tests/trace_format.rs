@@ -1,0 +1,110 @@
+//! Round-trip tests: the dependency-free emitters must produce JSON that a
+//! real parser accepts, and the recorder must survive record → export →
+//! reset cycles.
+
+use resoftmax_obs as obs;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes the tests in this binary: they all mutate the process-global
+/// recorder and counters.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn enable() {
+    obs::set_trace_enabled(Some(true));
+    obs::set_metrics_enabled(Some(true));
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_both_stream_kinds() {
+    let _g = lock();
+    enable();
+    obs::reset();
+    {
+        let _outer = obs::span!("outer \"quoted\"", "itest");
+        let _inner = obs::span!("inner", "itest");
+    }
+    obs::recorder().add_sim_stream(
+        "sim:unit",
+        obs::recorder().now_us(),
+        vec![obs::SimEvent {
+            name: "qk_matmul".to_owned(),
+            category: "MatMul".to_owned(),
+            track: 0,
+            start_us: 0.0,
+            dur_us: 12.5,
+            args: vec![("dram_read_mb", 1.5), ("bad", f64::NAN)],
+        }],
+    );
+    let trace = obs::recorder().export(&obs::ChromeTraceSink);
+    let v: serde_json::Value = serde_json::from_str(&trace).expect("chrome trace parses");
+    let events = v.as_array().expect("top level is an array");
+
+    // Wall-clock spans live on pid 1, sim events on pid >= 100.
+    let has_wall = events
+        .iter()
+        .any(|e| e["pid"] == 1 && e["ph"] == "X" && e["name"] == "inner");
+    let has_sim = events
+        .iter()
+        .any(|e| e["pid"].as_u64().unwrap_or(0) >= 100 && e["name"] == "qk_matmul");
+    assert!(has_wall, "wall-clock span missing: {trace}");
+    assert!(has_sim, "sim stream event missing: {trace}");
+
+    // Process-name metadata for both process kinds.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["name"] == "process_name")
+        .filter_map(|e| e["args"]["name"].as_str())
+        .collect();
+    assert!(names.contains(&"wall-clock"));
+    assert!(names.iter().any(|n| n.contains("sim:unit")));
+
+    // Non-finite args were sanitized, not emitted as bare NaN.
+    assert!(!trace.contains("NaN"));
+}
+
+#[test]
+fn metrics_json_parses_and_counts_survive_roundtrip() {
+    let _g = lock();
+    enable();
+    obs::counter("itest.kernels").add(42);
+    obs::float_counter("itest.bytes").add(1.0e9);
+    {
+        let _s = obs::span!("roundtrip", "itest");
+    }
+    let json = obs::recorder().export(&obs::JsonMetricsSink);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("metrics json parses");
+    assert!(v["counters"]["itest.kernels"].as_u64().unwrap_or(0) >= 42);
+    assert!(v["counters"]["itest.bytes"].as_f64().unwrap_or(0.0) >= 1.0e9);
+    let spans = v["spans"].as_object().expect("span aggregates present");
+    assert!(spans.iter().any(|(k, _)| k == "roundtrip"));
+
+    // The human summary renders the same state without panicking.
+    let summary = obs::recorder().export(&obs::SummarySink);
+    assert!(summary.contains("itest.kernels"));
+
+    // Reset really clears: a fresh export has no recorded spans.
+    obs::reset();
+    assert_eq!(obs::counter("itest.kernels").get(), 0);
+    assert!(obs::recorder().spans().is_empty());
+}
+
+#[test]
+fn counters_sum_across_threads() {
+    let _g = lock();
+    enable();
+    let c = obs::counter("itest.cross_thread");
+    let base = c.get();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..2500 {
+                    obs::counter("itest.cross_thread").incr();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get() - base, 10_000);
+}

@@ -1,0 +1,51 @@
+//! Pool instrumentation: `pool.tasks_executed` must not depend on the worker
+//! count (serial fallback counts items too), and per-worker counters must sum
+//! to the parallel total.
+
+use resoftmax_obs as obs;
+use resoftmax_parallel as pool;
+
+/// One test function: the thread override and the counters are process-global
+/// state, so the two legs must run in a fixed order.
+#[test]
+fn task_counters_agree_across_worker_counts() {
+    obs::set_metrics_enabled(Some(true));
+    let total = obs::counter("pool.tasks_executed");
+
+    let run = |threads: usize| {
+        pool::set_thread_override(Some(threads));
+        let before = total.get();
+        let mut data = vec![0u32; 64 * 1024];
+        pool::parallel_chunks_mut(&mut data, 64, |i, c| {
+            c.fill(u32::try_from(i).expect("small index"));
+        });
+        pool::set_thread_override(None);
+        total.get() - before
+    };
+
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, 1024, "one task per chunk on the serial path");
+    assert_eq!(parallel, serial, "worker count must not change task totals");
+
+    // Per-worker executed counts cover exactly the parallel leg (the serial
+    // leg spawns no workers, so it contributes nothing here).
+    let snap = obs::metrics_snapshot();
+    let per_worker: u64 = snap
+        .counts
+        .iter()
+        .filter(|(n, _)| n.starts_with("pool.worker") && n.ends_with(".executed"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(per_worker, parallel);
+
+    // Steal counters exist for every worker (they may legitimately be zero).
+    let stolen_slots = snap
+        .counts
+        .iter()
+        .filter(|(n, _)| n.starts_with("pool.worker") && n.ends_with(".stolen"))
+        .count();
+    assert!(stolen_slots >= 1);
+
+    obs::set_metrics_enabled(None);
+}

@@ -137,6 +137,7 @@ pub fn sddmm<T: Scalar>(
             k.shape()
         )));
     }
+    let _span = resoftmax_obs::span!("sddmm", "sparse");
     let b = layout.block();
     let d = q.cols();
     // Retained blocks are independent output tiles: one map entry each.
@@ -158,6 +159,7 @@ pub fn sddmm<T: Scalar>(
 /// Rows with empty support are left untouched (they have no retained blocks
 /// to write into).
 pub fn block_sparse_softmax<T: Scalar>(scores: &BlockSparseMatrix<T>) -> BlockSparseMatrix<T> {
+    let _span = resoftmax_obs::span!("block_sparse_softmax", "sparse");
     let b = scores.layout.block();
     let mut out = scores.clone();
 
@@ -208,6 +210,7 @@ pub fn spmm<T: Scalar>(p: &BlockSparseMatrix<T>, v: &Matrix<T>) -> Result<Matrix
     if v.rows() != l {
         return Err(ShapeError::new(format!("spmm v {:?} vs L={l}", v.shape())));
     }
+    let _span = resoftmax_obs::span!("spmm", "sparse");
     let b = p.layout.block();
     let d = v.cols();
     let mut out = Matrix::<T>::zeros(l, d);

@@ -43,12 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    simulated A100 with and without recomposition.
     // ------------------------------------------------------------------
     let model = ModelConfig::bert_large();
-    let baseline = run_inference(&model, &RunParams::new(4096), DeviceSpec::a100())?;
-    let sdf = run_inference(
-        &model,
-        &RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed),
-        DeviceSpec::a100(),
-    )?;
+    let baseline = Session::builder()
+        .model(model.clone())
+        .device(DeviceSpec::a100())
+        .params(RunParams::new(4096))
+        .build()?
+        .run()?;
+    let sdf = Session::builder()
+        .model(model)
+        .device(DeviceSpec::a100())
+        .params(RunParams::new(4096))
+        .strategy(SoftmaxStrategy::Recomposed)
+        .build()?
+        .run()?;
     println!(
         "\nBERT-large, L=4096, A100 (simulated):\n  baseline {:.2} ms ({:.0}% in softmax), recomposed {:.2} ms -> {:.2}x speedup",
         baseline.total_time_s() * 1e3,

@@ -3,6 +3,8 @@
 //!
 //! This umbrella crate re-exports the workspace:
 //!
+//! * [`obs`] — zero-overhead-when-disabled observability: spans, counters,
+//!   and the unified chrome-trace export (see README "Observability").
 //! * [`fp16`] — bit-exact software binary16.
 //! * [`tensor`] — matrices, tiles, reference linear algebra.
 //! * [`gpusim`] — the GPU performance/energy simulator standing in for the
@@ -23,6 +25,7 @@ pub use resoftmax_fp16 as fp16;
 pub use resoftmax_gpusim as gpusim;
 pub use resoftmax_kernels as kernels;
 pub use resoftmax_model as model;
+pub use resoftmax_obs as obs;
 pub use resoftmax_sparse as sparse;
 pub use resoftmax_tensor as tensor;
 
@@ -38,9 +41,13 @@ pub mod prelude {
         recomposed_attention, reference_attention, softmax_backward, softmax_rows,
     };
     pub use resoftmax_model::{
-        build_schedule, run_decode_step, run_inference, run_seq2seq, run_training_iteration,
-        LibraryProfile, ModelConfig, RunParams, RunReport, Seq2SeqConfig, SoftmaxStrategy,
-        Workload, WorkloadConfig,
+        build_schedule, run_decode_step, run_inference, run_seq2seq, run_training_iteration, Error,
+        LibraryProfile, ModelConfig, RunParams, RunReport, Seq2SeqConfig, Session, SessionBuilder,
+        SoftmaxStrategy, Workload, WorkloadConfig,
+    };
+    pub use resoftmax_obs::{
+        counter, float_counter, metrics_snapshot, recorder, span, ChromeTraceSink, JsonMetricsSink,
+        SummarySink,
     };
     pub use resoftmax_sparse::{
         block_sparse_softmax, pattern, sddmm, spmm, BigBirdConfig, BlockLayout, BlockSparseMatrix,
