@@ -63,15 +63,21 @@ fn expected_footprint(spec: &ScheduleSpec, suffix: &str) -> Option<u64> {
     let inst = spec.instances();
     let l = spec.seq_len as u64;
     let rows = (spec.seq_len * spec.batch) as u64;
-    let attn = match &spec.sparse {
-        Some(s) => s.nnz_elements() as u64 * FP16_BYTES * inst,
-        None => l * spec.seq_len as u64 * FP16_BYTES * inst,
+    let heads = spec.heads as u64;
+    // Batched decode: each row's score slice and m'/d'/r' plane are sized by
+    // its own context length, so the footprints are per-row sums.
+    let attn = match (&spec.decode, &spec.sparse) {
+        (Some(dec), _) => dec.total_ctx() * FP16_BYTES * heads,
+        (None, Some(s)) => s.nnz_elements() as u64 * FP16_BYTES * inst,
+        (None, None) => l * spec.seq_len as u64 * FP16_BYTES * inst,
     };
-    let intermediate = if let Some(s) = &spec.sparse {
-        s.intermediate_elements() as u64 * FP16_BYTES * inst
-    } else {
-        let n_sv = (spec.seq_len / spec.tile_n).max(1) as u64;
-        l * n_sv * FP16_BYTES * inst
+    let intermediate = match (&spec.decode, &spec.sparse) {
+        (Some(dec), _) => dec.total_sub_vectors(spec.tile_n) * FP16_BYTES * heads,
+        (None, Some(s)) => s.intermediate_elements() as u64 * FP16_BYTES * inst,
+        (None, None) => {
+            let n_sv = (spec.seq_len / spec.tile_n).max(1) as u64;
+            l * n_sv * FP16_BYTES * inst
+        }
     };
     match suffix {
         "scores" | "probs" | "x_prime" => Some(attn),

@@ -57,6 +57,10 @@ pub enum Rule {
     /// so partial results would combine in a parallelism-dependent order and
     /// the bit-exactness contract of the runtime would not hold.
     ParallelSplitReduction,
+    /// A kernel's thread-block size is not a multiple of the warp width (32):
+    /// real launches round up to whole warps, so a fractional-warp figure
+    /// skews the occupancy model.
+    ShapeWarpAlignment,
 }
 
 impl Rule {
@@ -73,6 +77,7 @@ impl Rule {
             Rule::TrafficFormula => "traffic/formula",
             Rule::TrafficAttribution => "traffic/attribution",
             Rule::ParallelSplitReduction => "parallel/split-reduction",
+            Rule::ShapeWarpAlignment => "shape/warp-alignment",
         }
     }
 }

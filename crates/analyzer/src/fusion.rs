@@ -36,7 +36,10 @@ pub fn expected_sub_vector(spec: &ScheduleSpec) -> usize {
 pub fn check(spec: &ScheduleSpec, kernels: &[KernelDesc], diags: &mut Vec<Diagnostic>) {
     let t_expected = expected_sub_vector(spec);
     let kv_len = spec.seq_len;
-    if !kv_len.is_multiple_of(t_expected) {
+    // Batched decode keys by per-row context lengths, not `seq_len`, and its
+    // formulas use exact `⌈ctx / T⌉` sub-vector counts — no approximation to
+    // warn about.
+    if spec.decode.is_none() && !kv_len.is_multiple_of(t_expected) {
         diags.push(Diagnostic {
             rule: Rule::FusionTileWidth,
             severity: crate::Severity::Warning,
@@ -50,6 +53,20 @@ pub fn check(spec: &ScheduleSpec, kernels: &[KernelDesc], diags: &mut Vec<Diagno
 
     let mut last_qk_tile_n: Option<usize> = None;
     for (i, k) in kernels.iter().enumerate() {
+        // Warp alignment: hardware launches whole warps, so a thread-block
+        // size that is not a multiple of 32 misstates occupancy.
+        if !(k.shape.threads as usize).is_multiple_of(32) {
+            diags.push(Diagnostic::error(
+                Rule::ShapeWarpAlignment,
+                i,
+                format!(
+                    "`{}` launches {}-thread blocks; block sizes must be a \
+                     multiple of the 32-lane warp width",
+                    k.name, k.shape.threads
+                ),
+            ));
+        }
+
         // Every kernel that participates in the decomposed-softmax dataflow
         // must agree on T.
         if let Some(t) = k.meta.sub_vector {

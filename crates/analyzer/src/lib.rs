@@ -53,7 +53,7 @@ pub mod traffic;
 
 pub use diagnostic::{Diagnostic, Rule, Severity};
 pub use report::Report;
-pub use spec::{ScheduleSpec, SparseSpec, StrategyKind};
+pub use spec::{DecodeSpec, ScheduleSpec, SparseSpec, StrategyKind};
 
 use resoftmax_gpusim::KernelDesc;
 

@@ -49,6 +49,33 @@ impl SparseSpec {
     }
 }
 
+/// Facts about a batched-decode schedule: one generated token per entry,
+/// each attending a KV cache of its own length.
+///
+/// Decode schedules reuse the dense rule families with `seq_len = 1` and
+/// `batch = ctxs.len()` (so the FC/LayerNorm/activation-chain formulas hold
+/// unchanged), while the SDA traffic and intermediate-footprint formulas
+/// switch to exact per-row sums over these context lengths.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeSpec {
+    /// Attended context length of each decode row (`heads` instances each),
+    /// in schedule order.
+    pub ctxs: Vec<usize>,
+}
+
+impl DecodeSpec {
+    /// Total attended positions across all rows (`Σ ctx`).
+    pub fn total_ctx(&self) -> u64 {
+        self.ctxs.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Total sub-vectors across all rows (`Σ ⌈ctx / T⌉`).
+    pub fn total_sub_vectors(&self, t: usize) -> u64 {
+        let t = t.max(1);
+        self.ctxs.iter().map(|&c| c.div_ceil(t) as u64).sum()
+    }
+}
+
 /// Everything the rules need to know about the run a schedule implements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleSpec {
@@ -86,6 +113,9 @@ pub struct ScheduleSpec {
     /// Block-sparse layout when the schedule uses block-sparse attention
     /// kernels; `None` for dense schedules (including dense fallbacks).
     pub sparse: Option<SparseSpec>,
+    /// Per-row context lengths when the schedule is a batched-decode
+    /// iteration; `None` for full-sequence schedules.
+    pub decode: Option<DecodeSpec>,
 }
 
 impl ScheduleSpec {
@@ -145,6 +175,7 @@ impl ScheduleSpec {
             separate_scale_mask: false,
             separate_elementwise: false,
             sparse: None,
+            decode: None,
         }
     }
 }

@@ -23,7 +23,9 @@ use resoftmax_gpusim::{KernelCategory, KernelDesc};
 const FP16_BYTES: f64 = 2.0;
 /// Relative tolerance on the formula comparison; the mirrored formulas are
 /// exact, so this only absorbs float rounding through the overhead scaling.
-const REL_TOL: f64 = 0.01;
+/// Tight enough that a padded-TB traffic overcount (a remainder thread
+/// block charged for a full group) fails the check even at small grids.
+const REL_TOL: f64 = 0.005;
 
 /// Outcome of re-deriving a kernel's expected traffic.
 enum Expected {
@@ -92,6 +94,9 @@ fn expected(spec: &ScheduleSpec, k: &KernelDesc) -> Expected {
         | KernelCategory::InterReduction
         | KernelCategory::GlobalScaling
         | KernelCategory::FusedAttention => {
+            if let Some(dec) = &spec.decode {
+                return expected_decode_attn(spec, dec, k);
+            }
             let Some(attn) = Attn::from(k) else {
                 return Expected::Missing;
             };
@@ -240,6 +245,53 @@ fn expected_dense_attn(k: &KernelDesc, a: &Attn) -> Expected {
             }
         }
         _ => unreachable!("dense dispatch covers only SDA categories"),
+    }
+}
+
+/// Exact per-row sums for a batched-decode iteration, mirroring
+/// `build_batched_decode_schedule`: each of the `ctxs.len()` rows runs
+/// `heads` GEMV instances over its own context length.
+fn expected_decode_attn(
+    spec: &ScheduleSpec,
+    dec: &crate::spec::DecodeSpec,
+    k: &KernelDesc,
+) -> Expected {
+    let h = spec.heads as f64;
+    let d_head = spec.d_head() as f64;
+    let rows = dec.ctxs.len() as f64;
+    let sum_ctx = dec.total_ctx() as f64;
+    let sum_sv = dec.total_sub_vectors(spec.tile_n) as f64;
+    match k.category {
+        // Per instance: stream the K-cache slice plus one q row and one k
+        // row; write the score (or x') row, plus m'/d' when LS is fused.
+        KernelCategory::MatMulQk => Expected::Bytes {
+            read: h * (sum_ctx + 2.0 * rows) * d_head * FP16_BYTES,
+            write: h * (sum_ctx + if k.meta.fused_ls { 2.0 * sum_sv } else { 0.0 }) * FP16_BYTES,
+        },
+        // Monolithic softmax rewrites each score row in place.
+        KernelCategory::Softmax => Expected::Bytes {
+            read: h * sum_ctx * FP16_BYTES,
+            write: h * sum_ctx * FP16_BYTES,
+        },
+        // IR folds each row's m'/d' pairs into one r' plane.
+        KernelCategory::InterReduction => Expected::Bytes {
+            read: h * 2.0 * sum_sv * FP16_BYTES,
+            write: h * sum_sv * FP16_BYTES,
+        },
+        // Per instance: stream the V-cache slice plus the probability (or
+        // x') row and one v row — and the r' plane under a GS prologue —
+        // writing one d_head-wide output row.
+        KernelCategory::MatMulPv => Expected::Bytes {
+            read: h
+                * (sum_ctx * d_head
+                    + sum_ctx
+                    + rows * d_head
+                    + if k.meta.fused_gs { sum_sv } else { 0.0 })
+                * FP16_BYTES,
+            write: h * rows * d_head * FP16_BYTES,
+        },
+        // Decode schedules never emit these.
+        _ => Expected::Missing,
     }
 }
 

@@ -26,6 +26,9 @@ pub struct DeviceSpec {
     pub l1_kb_per_sm: u32,
     /// L2 cache size in MB (Table 1).
     pub l2_mb: f64,
+    /// Off-chip memory (HBM/GDDR) capacity in GB — bounds model weights plus
+    /// the KV-cache pool in serving simulations.
+    pub hbm_gb: f64,
 
     /// Number of streaming multiprocessors.
     pub num_sms: u32,
@@ -76,6 +79,7 @@ impl DeviceSpec {
             fp16_tensor_tflops: 169.0,
             l1_kb_per_sm: 192,
             l2_mb: 40.0,
+            hbm_gb: 80.0,
             num_sms: 108,
             max_threads_per_sm: 2048,
             max_tbs_per_sm: 32,
@@ -97,6 +101,7 @@ impl DeviceSpec {
             fp16_tensor_tflops: 58.0,
             l1_kb_per_sm: 128,
             l2_mb: 6.0,
+            hbm_gb: 24.0,
             num_sms: 82,
             max_threads_per_sm: 1536,
             max_tbs_per_sm: 16,
@@ -118,6 +123,7 @@ impl DeviceSpec {
             fp16_tensor_tflops: 24.0,
             l1_kb_per_sm: 64,
             l2_mb: 4.0,
+            hbm_gb: 16.0,
             num_sms: 40,
             max_threads_per_sm: 1024,
             max_tbs_per_sm: 16,
@@ -182,6 +188,12 @@ impl DeviceSpec {
         (self.l2_mb * 1024.0 * 1024.0) as u64
     }
 
+    /// Off-chip memory capacity in bytes.
+    #[inline]
+    pub fn hbm_bytes(&self) -> u64 {
+        (self.hbm_gb * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+
     /// Ratio of tensor-core FLOPS to memory bandwidth (FLOP per byte).
     ///
     /// The paper uses this ratio to explain why A100 benefits most from
@@ -212,6 +224,7 @@ impl DeviceSpec {
         pos(self.fp16_tensor_tflops, "fp16_tensor_tflops")?;
         pos(self.l1_kb_per_sm as f64, "l1_kb_per_sm")?;
         pos(self.l2_mb, "l2_mb")?;
+        pos(self.hbm_gb, "hbm_gb")?;
         pos(self.num_sms as f64, "num_sms")?;
         pos(self.max_threads_per_sm as f64, "max_threads_per_sm")?;
         pos(self.max_tbs_per_sm as f64, "max_tbs_per_sm")?;
@@ -245,6 +258,8 @@ mod tests {
         assert_eq!(a100.fp16_tensor_tflops, 169.0);
         assert_eq!(a100.l1_kb_per_sm, 192);
         assert_eq!(a100.l2_mb, 40.0);
+        assert_eq!(a100.hbm_gb, 80.0);
+        assert_eq!(a100.hbm_bytes(), 80 * 1024 * 1024 * 1024);
 
         let r = DeviceSpec::rtx3090();
         assert_eq!(r.mem_bandwidth_gbps, 936.2);

@@ -124,6 +124,15 @@ impl Gpu {
         self.timeline
     }
 
+    /// Finishes the current run: returns its timeline and resets the
+    /// execution state (caches flushed, fresh empty timeline) so the same
+    /// `Gpu` can host the next run. This is the multi-run entry point the
+    /// serving engine iterates on — one `Gpu`, one timeline per iteration.
+    pub fn take_timeline(&mut self) -> Timeline {
+        self.l2.flush();
+        std::mem::replace(&mut self.timeline, Timeline::new())
+    }
+
     /// Clears timeline and caches (new measurement iteration).
     pub fn reset(&mut self) {
         self.l2.flush();

@@ -118,7 +118,7 @@ pub fn layernorm(rows: usize, d: usize, prefix: &str, input: &str, output: &str)
     };
     KernelDesc::builder(format!("layernorm({rows}x{d})"), KernelCategory::LayerNorm)
         .shape(TbShape::new(
-            (d / 4).clamp(32, 1024) as u32,
+            super::row_threads(d),
             (d * FP16_BYTES) as u32,
             32,
         ))

@@ -200,7 +200,7 @@ pub fn matmul_pv(
 pub fn softmax_monolithic(dims: &AttnDims, prefix: &str, input: &str) -> KernelDesc {
     let rows = dims.l as u64 * dims.instances();
     let row_bytes = (dims.kv_len * FP16_BYTES) as f64;
-    let threads = (dims.kv_len / 4).clamp(32, 1024) as u32;
+    let threads = super::row_threads(dims.kv_len);
     let work = TbWork {
         // 5 ops per element (paper §3.1), with the exp weighted as SFU work:
         // max + subtract + exp + accumulate + scale.

@@ -187,6 +187,15 @@ impl TileConfig {
     }
 }
 
+/// Thread count for a row-resident kernel over `elems` elements: one thread
+/// per four elements, warp-aligned (a multiple of 32), within `[32, 1024]`.
+/// Real row kernels launch whole warps; a grid of, say, 65 threads would
+/// leave 31 lanes of the third warp idle while still occupying its scheduler
+/// slot, so occupancy math must see the rounded figure.
+pub fn row_threads(elems: usize) -> u32 {
+    ((elems / 4).clamp(32, 1024).next_multiple_of(32)).min(1024) as u32
+}
+
 /// Derives a buffer id under a prefix (e.g. `buf("l3.h", "scores")` →
 /// `"l3.h.scores"`). Producer and consumer kernels built with the same prefix
 /// agree on identity, which is what drives the simulator's L2 model.

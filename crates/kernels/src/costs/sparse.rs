@@ -156,7 +156,7 @@ pub fn bs_softmax_baseline(layout: &BlockLayout, dims: &AttnDims, prefix: &str) 
     )
     // worst-case allocation: threads and shared memory sized for L
     .shape(TbShape::new(
-        (dims.l / 4).clamp(32, 1024) as u32,
+        super::row_threads(dims.l),
         (dims.l * FP16_BYTES) as u32,
         40,
     ))

@@ -174,7 +174,7 @@ pub fn bs_softmax_backward(layout: &BlockLayout, dims: &AttnDims, prefix: &str) 
         KernelCategory::Softmax,
     )
     .shape(TbShape::new(
-        (dims.l / 4).clamp(32, 1024) as u32,
+        super::row_threads(dims.l),
         (2 * dims.l * FP16_BYTES) as u32,
         40,
     ))

@@ -146,7 +146,7 @@ pub fn matmul_dp(dims: &AttnDims, tile: TileConfig, prefix: &str, recomposed: bo
 pub fn softmax_backward_monolithic(dims: &AttnDims, prefix: &str) -> KernelDesc {
     let rows = dims.l as u64 * dims.instances();
     let row_bytes = (dims.l * FP16_BYTES) as f64;
-    let threads = (dims.l / 4).clamp(32, 1024) as u32;
+    let threads = super::row_threads(dims.l);
     let work = TbWork {
         // rowdot (2 ops) + subtract + multiply per element
         cuda_flops: 4.0 * dims.l as f64,

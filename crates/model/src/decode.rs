@@ -1,4 +1,4 @@
-//! Extension: autoregressive *decode* (one token at a time with a KV cache)
+//! Extension: autoregressive *decode* (token generation with a KV cache)
 //! — a scope boundary of the paper.
 //!
 //! The paper evaluates full-sequence inference, where the attention matrix
@@ -8,25 +8,70 @@
 //! of recomposition — has nothing to eliminate. Decode is bound by weight
 //! and KV-cache streaming instead. This module prices that regime so the
 //! boundary is measured, not asserted.
+//!
+//! The batched builder generalizes the single-request schedule to one fused
+//! engine iteration over rows at *heterogeneous* context lengths — the shape
+//! a continuous-batching serving loop produces (`resoftmax-serve`): each row
+//! is one token being generated (or one prefill-chunk position), attending a
+//! KV cache of its own length.
 
 use crate::config::{AttentionKind, ModelConfig};
 use crate::engine::RunReport;
 use crate::schedule::{RunParams, SoftmaxStrategy};
-use resoftmax_gpusim::{DeviceSpec, KernelCategory, KernelDesc, LaunchError, TbShape, TbWork};
+use resoftmax_analyzer::{DecodeSpec, ScheduleSpec, StrategyKind};
+use resoftmax_gpusim::{
+    DeviceSpec, KernelCategory, KernelDesc, KernelDescBuilder, KernelMeta, LaunchError,
+    ParallelSplit, TbGroup, TbShape, TbWork,
+};
 use resoftmax_kernels::costs::{
-    buf, common, EXP_FLOP_EQUIV, FP16_BYTES, SOFTMAX_PHASE_EFFICIENCY, STREAM_EFFICIENCY,
+    buf, common, row_threads, EXP_FLOP_EQUIV, FP16_BYTES, SOFTMAX_PHASE_EFFICIENCY,
+    STREAM_EFFICIENCY,
 };
 
-/// Builds the kernel schedule for generating ONE token at context length
-/// `ctx` (KV cache already populated).
+/// Attaches one thread block per attention instance to the builder: `heads`
+/// TBs per row, each sized by that row's context length. Adjacent rows with
+/// equal contexts merge into one group (a single run collapses to a uniform
+/// grid, which the simulator replays on its wave fast path).
+fn per_row_tbs(
+    b: &mut KernelDescBuilder,
+    ctxs: &[usize],
+    heads: u64,
+    work_of: impl Fn(usize) -> TbWork,
+) {
+    let mut runs: Vec<(usize, u64)> = Vec::new();
+    for &c in ctxs {
+        match runs.last_mut() {
+            Some((prev, n)) if *prev == c => *n += heads,
+            _ => runs.push((c, heads)),
+        }
+    }
+    if let [(c, n)] = runs[..] {
+        b.uniform(n, work_of(c));
+    } else {
+        b.grouped(
+            runs.into_iter()
+                .map(|(c, n)| TbGroup::new(work_of(c), n))
+                .collect(),
+        );
+    }
+}
+
+/// Builds the kernel schedule for ONE engine iteration that generates one
+/// token per entry of `ctxs`, each attending a KV cache of that length.
+///
+/// Every attention kernel is launched once for the whole batch (continuous
+/// batching: heterogeneous rows share a grid); the feed-forward stack runs
+/// as `ctxs.len()`-row GEMMs. `params` supplies the strategy and the
+/// sub-vector tile width; its `batch`/`seq_len` are ignored here — the row
+/// count is `ctxs.len()`.
 ///
 /// # Panics
 ///
 /// Panics for non-dense models (decode with block-sparse caches is not
-/// modeled) and for the online-fused strategy.
-pub fn build_decode_schedule(
+/// modeled), for the online-fused strategy, and for empty or zero contexts.
+pub fn build_batched_decode_schedule(
     model: &ModelConfig,
-    ctx: usize,
+    ctxs: &[usize],
     params: &RunParams,
 ) -> Vec<KernelDesc> {
     assert!(
@@ -37,20 +82,47 @@ pub fn build_decode_schedule(
         params.strategy != SoftmaxStrategy::OnlineFused,
         "decode attention is a single row; online fusion is the GEMV itself"
     );
+    assert!(
+        !ctxs.is_empty(),
+        "decode batch must contain at least one row"
+    );
+    assert!(
+        ctxs.iter().all(|&c| c > 0),
+        "decode context lengths must be nonzero"
+    );
     let recomposed = params.strategy == SoftmaxStrategy::Recomposed;
-    let batch = params.batch;
+    let rows = ctxs.len();
     let d_model = model.d_model;
     let heads = model.heads;
     let d_head = model.d_head();
-    let inst = (heads * batch) as u64;
-    let mut kernels = Vec::new();
+    let h = heads as u64;
+    let inst = h * rows as u64;
+    let t_sub = params.tile.n.max(1);
+    let n_sv = |ctx: usize| ctx.div_ceil(t_sub);
+    let max_ctx = *ctxs.iter().max().expect("nonempty batch");
 
+    // Batch-wide byte totals for the buffer declarations (all `heads`
+    // instances of all rows).
+    let cache_total: u64 = ctxs
+        .iter()
+        .map(|&c| (c * d_head * FP16_BYTES) as u64)
+        .sum::<u64>()
+        * h;
+    let row_total: u64 = ctxs.iter().map(|&c| (c * FP16_BYTES) as u64).sum::<u64>() * h;
+    let sv_total: u64 = ctxs
+        .iter()
+        .map(|&c| (n_sv(c) * FP16_BYTES) as u64)
+        .sum::<u64>()
+        * h;
+    let qkv_total = (rows * d_model * FP16_BYTES) as u64;
+
+    let mut kernels = Vec::new();
     for layer in 0..model.layers {
         let prefix = format!("l{layer}");
-        // QKV + output projections: 1-row GEMVs, weight-streaming bound.
+        // QKV projections: `rows`-row GEMVs, weight-streaming bound.
         for out in ["q", "k", "v"] {
             kernels.push(common::fc(
-                batch,
+                rows,
                 d_model,
                 d_model,
                 KernelCategory::Fc,
@@ -61,154 +133,174 @@ pub fn build_decode_schedule(
             ));
         }
 
-        // q·Kᵀ over the KV cache: one GEMV per instance, streaming the K
-        // cache (ctx × d_head per instance). With recomposition the LS
-        // epilogue rides along (scale + exp + local max), fused as in Fig. 6.
-        let k_cache = (ctx * d_head * FP16_BYTES) as f64;
-        let score_row = (ctx * FP16_BYTES) as f64;
-        let qk = KernelDesc::builder(
+        // q·Kᵀ over the KV cache: one GEMV per instance, streaming that
+        // row's K-cache slice plus its q and (appended) k rows. With
+        // recomposition the LS epilogue rides along (scale + exp + local
+        // max), fused as in Fig. 6, emitting the per-sub-vector m'/d'.
+        let mut qk = KernelDesc::builder(
             format!(
-                "decode_qk{}(ctx={ctx})",
+                "decode_qk{}(rows={rows},max_ctx={max_ctx})",
                 if recomposed { "+ls" } else { "" }
             ),
             KernelCategory::MatMulQk,
-        )
-        .shape(TbShape::new(256, 16 * 1024, 64))
-        .uniform(
-            inst,
-            TbWork {
-                cuda_flops: 2.0 * (ctx * d_head) as f64
-                    + if recomposed {
-                        (EXP_FLOP_EQUIV + 6.0) * ctx as f64
-                    } else {
-                        2.0 * ctx as f64
-                    },
-                tensor_flops: 0.0,
-                dram_read_bytes: k_cache,
-                dram_write_bytes: score_row,
-                mem_active_fraction: 1.0,
-                efficiency: STREAM_EFFICIENCY,
-            },
-        )
-        .reads(buf(&prefix, "k_cache"), (k_cache as u64) * inst)
+        );
+        qk.shape(TbShape::new(256, 16 * 1024, 64));
+        per_row_tbs(&mut qk, ctxs, h, |ctx| TbWork {
+            cuda_flops: 2.0 * (ctx * d_head) as f64
+                + if recomposed {
+                    (EXP_FLOP_EQUIV + 6.0) * ctx as f64
+                } else {
+                    2.0 * ctx as f64
+                },
+            tensor_flops: 0.0,
+            dram_read_bytes: ((ctx + 2) * d_head * FP16_BYTES) as f64,
+            dram_write_bytes: (ctx * FP16_BYTES) as f64
+                + if recomposed {
+                    (2 * n_sv(ctx) * FP16_BYTES) as f64
+                } else {
+                    0.0
+                },
+            mem_active_fraction: 1.0,
+            efficiency: STREAM_EFFICIENCY,
+        });
+        qk.meta(KernelMeta {
+            d_head: Some(d_head),
+            instances: Some(inst),
+            fused_ls: recomposed,
+            sub_vector: recomposed.then_some(t_sub),
+            tile_n: recomposed.then_some(t_sub),
+            split: Some(ParallelSplit::OutputRows),
+            ..KernelMeta::default()
+        })
+        .reads(buf(&prefix, "k_cache"), cache_total)
+        .reads(buf(&prefix, "q"), qkv_total)
+        .reads(buf(&prefix, "k"), qkv_total)
         .writes(
             buf(&prefix, if recomposed { "x_prime" } else { "scores" }),
-            (score_row as u64) * inst,
-        )
-        .build();
-        let qk = if recomposed {
-            // the fused epilogue also emits the per-sub-vector m'/d'
-            let n_sv = ctx.div_ceil(params.tile.n) as u64;
-            let mut b = KernelDesc::builder(qk.name.clone(), qk.category);
-            b.shape(qk.shape);
-            if let resoftmax_gpusim::TbSet::Uniform { count, work } = qk.tbs {
-                b.uniform(count, work);
-            }
-            for r in &qk.reads {
-                b.reads(r.id.clone(), r.bytes);
-            }
-            for w in &qk.writes {
-                b.writes(w.id.clone(), w.bytes);
-            }
-            b.writes(buf(&prefix, "m_prime"), n_sv * 2 * inst)
-                .writes(buf(&prefix, "d_prime"), n_sv * 2 * inst);
-            b.build()
-        } else {
-            qk
-        };
-        kernels.push(qk);
+            row_total,
+        );
+        if recomposed {
+            qk.writes(buf(&prefix, "m_prime"), sv_total)
+                .writes(buf(&prefix, "d_prime"), sv_total);
+        }
+        kernels.push(qk.build());
 
         if recomposed {
-            // IR over the row's sub-vectors: trivially small.
-            let n_sv = ctx.div_ceil(params.tile.n);
-            kernels.push(
-                KernelDesc::builder(
-                    format!("decode_ir(ctx={ctx})"),
-                    KernelCategory::InterReduction,
-                )
-                .shape(TbShape::new(128, 4096, 32))
-                .uniform(
-                    inst.div_ceil(64),
+            // IR over each row's sub-vectors: trivially small. 64 instance
+            // rows per TB; the remainder TB charges only its true rows — a
+            // padded figure here is a 4x overcount at GPT-Neo batch 1.
+            let per_inst_sv: Vec<usize> = ctxs
+                .iter()
+                .flat_map(|&c| std::iter::repeat_n(n_sv(c), heads))
+                .collect();
+            let tbs: Vec<TbWork> = per_inst_sv
+                .chunks(64)
+                .map(|chunk| {
+                    let sv: f64 = chunk.iter().map(|&v| v as f64).sum();
                     TbWork {
-                        cuda_flops: 64.0 * n_sv as f64 * (EXP_FLOP_EQUIV + 4.0),
-                        dram_read_bytes: 64.0 * (2 * n_sv * FP16_BYTES) as f64,
-                        dram_write_bytes: 64.0 * (n_sv * FP16_BYTES) as f64,
-                        ..Default::default()
-                    },
-                )
-                .reads(buf(&prefix, "m_prime"), (n_sv * FP16_BYTES) as u64 * inst)
-                .reads(buf(&prefix, "d_prime"), (n_sv * FP16_BYTES) as u64 * inst)
-                .writes(buf(&prefix, "r_prime"), (n_sv * FP16_BYTES) as u64 * inst)
-                .build(),
+                        cuda_flops: sv * (EXP_FLOP_EQUIV + 4.0),
+                        dram_read_bytes: sv * (2 * FP16_BYTES) as f64,
+                        dram_write_bytes: sv * FP16_BYTES as f64,
+                        ..TbWork::default()
+                    }
+                })
+                .collect();
+            let mut ir = KernelDesc::builder(
+                format!("decode_ir(rows={rows},max_ctx={max_ctx})"),
+                KernelCategory::InterReduction,
             );
+            ir.shape(TbShape::new(128, 4096, 32))
+                .per_tb(tbs)
+                .meta(KernelMeta {
+                    instances: Some(inst),
+                    sub_vector: Some(t_sub),
+                    split: Some(ParallelSplit::OutputRows),
+                    ..KernelMeta::default()
+                })
+                .reads(buf(&prefix, "m_prime"), sv_total)
+                .reads(buf(&prefix, "d_prime"), sv_total)
+                .writes(buf(&prefix, "r_prime"), sv_total);
+            kernels.push(ir.build());
         } else {
             // Monolithic softmax over ONE row per instance: only
-            // `heads × batch` thread blocks exist — a parallelism desert.
-            kernels.push(
-                KernelDesc::builder(
-                    format!("decode_softmax(ctx={ctx})"),
-                    KernelCategory::Softmax,
-                )
-                .shape(TbShape::new(
-                    (ctx / 4).clamp(32, 1024) as u32,
-                    (ctx * FP16_BYTES) as u32,
-                    40,
-                ))
-                .uniform(
-                    inst,
-                    TbWork {
-                        cuda_flops: (EXP_FLOP_EQUIV + 4.0) * ctx as f64,
-                        dram_read_bytes: score_row,
-                        dram_write_bytes: score_row,
-                        mem_active_fraction: 1.0,
-                        efficiency: SOFTMAX_PHASE_EFFICIENCY,
-                        ..Default::default()
-                    },
-                )
-                .reads(buf(&prefix, "scores"), (score_row as u64) * inst)
-                .writes(buf(&prefix, "probs"), (score_row as u64) * inst)
-                .build(),
+            // `heads × rows` thread blocks exist — a parallelism desert.
+            // Threads are allocated for the longest row (real kernels size
+            // the block for the worst case), in whole warps.
+            let mut sm = KernelDesc::builder(
+                format!("decode_softmax(rows={rows},max_ctx={max_ctx})"),
+                KernelCategory::Softmax,
             );
+            sm.shape(TbShape::new(
+                row_threads(max_ctx),
+                (max_ctx * FP16_BYTES) as u32,
+                40,
+            ));
+            per_row_tbs(&mut sm, ctxs, h, |ctx| TbWork {
+                cuda_flops: (EXP_FLOP_EQUIV + 4.0) * ctx as f64,
+                dram_read_bytes: (ctx * FP16_BYTES) as f64,
+                dram_write_bytes: (ctx * FP16_BYTES) as f64,
+                mem_active_fraction: 1.0,
+                efficiency: SOFTMAX_PHASE_EFFICIENCY,
+                ..TbWork::default()
+            });
+            sm.meta(KernelMeta {
+                instances: Some(inst),
+                split: Some(ParallelSplit::OutputRows),
+                ..KernelMeta::default()
+            })
+            .reads(buf(&prefix, "scores"), row_total)
+            .writes(buf(&prefix, "probs"), row_total);
+            kernels.push(sm.build());
         }
 
-        // P·V over the V cache (GS prologue when recomposed).
-        let v_cache = (ctx * d_head * FP16_BYTES) as f64;
-        kernels.push(
-            KernelDesc::builder(
-                format!(
-                    "decode_pv{}(ctx={ctx})",
-                    if recomposed { "+gs" } else { "" }
-                ),
-                KernelCategory::MatMulPv,
-            )
-            .shape(TbShape::new(256, 16 * 1024, 64))
-            .uniform(
-                inst,
-                TbWork {
-                    cuda_flops: 2.0 * (ctx * d_head) as f64
-                        + if recomposed { ctx as f64 } else { 0.0 },
-                    dram_read_bytes: v_cache + score_row,
-                    dram_write_bytes: (d_head * FP16_BYTES) as f64,
-                    mem_active_fraction: 1.0,
-                    efficiency: STREAM_EFFICIENCY,
-                    ..Default::default()
-                },
-            )
-            .reads(buf(&prefix, "v_cache"), (v_cache as u64) * inst)
-            .reads(
-                buf(&prefix, if recomposed { "x_prime" } else { "probs" }),
-                (score_row as u64) * inst,
-            )
-            .writes(
-                buf(&prefix, "attn_out"),
-                (d_head * FP16_BYTES) as u64 * inst,
-            )
-            .build(),
+        // P·V over the V cache. Under recomposition the GS prologue rescales
+        // the x' row by the reconstruction factors, so the kernel streams
+        // that row's r' slice too — its traffic is part of the cost model.
+        let mut pv = KernelDesc::builder(
+            format!(
+                "decode_pv{}(rows={rows},max_ctx={max_ctx})",
+                if recomposed { "+gs" } else { "" }
+            ),
+            KernelCategory::MatMulPv,
         );
+        pv.shape(TbShape::new(256, 16 * 1024, 64));
+        per_row_tbs(&mut pv, ctxs, h, |ctx| TbWork {
+            cuda_flops: 2.0 * (ctx * d_head) as f64 + if recomposed { ctx as f64 } else { 0.0 },
+            dram_read_bytes: ((ctx + 1) * d_head * FP16_BYTES) as f64
+                + (ctx * FP16_BYTES) as f64
+                + if recomposed {
+                    (n_sv(ctx) * FP16_BYTES) as f64
+                } else {
+                    0.0
+                },
+            dram_write_bytes: (d_head * FP16_BYTES) as f64,
+            mem_active_fraction: 1.0,
+            efficiency: STREAM_EFFICIENCY,
+            ..TbWork::default()
+        });
+        pv.meta(KernelMeta {
+            d_head: Some(d_head),
+            instances: Some(inst),
+            fused_gs: recomposed,
+            sub_vector: recomposed.then_some(t_sub),
+            split: Some(ParallelSplit::OutputRows),
+            ..KernelMeta::default()
+        })
+        .reads(buf(&prefix, "v_cache"), cache_total)
+        .reads(
+            buf(&prefix, if recomposed { "x_prime" } else { "probs" }),
+            row_total,
+        )
+        .reads(buf(&prefix, "v"), qkv_total);
+        if recomposed {
+            pv.reads(buf(&prefix, "r_prime"), sv_total);
+        }
+        pv.writes(buf(&prefix, "attn_out"), qkv_total);
+        kernels.push(pv.build());
 
-        // Output projection + FF, all 1-row weight-bound GEMVs.
+        // Output projection + FF, all weight-bound GEMVs.
         kernels.push(common::fc(
-            batch,
+            rows,
             d_model,
             d_model,
             KernelCategory::Fc,
@@ -217,9 +309,9 @@ pub fn build_decode_schedule(
             "proj",
             true,
         ));
-        kernels.push(common::layernorm(batch, d_model, &prefix, "proj", "ln1"));
+        kernels.push(common::layernorm(rows, d_model, &prefix, "proj", "ln1"));
         kernels.push(common::fc(
-            batch,
+            rows,
             d_model,
             model.d_ff,
             KernelCategory::FeedForward,
@@ -229,7 +321,7 @@ pub fn build_decode_schedule(
             true,
         ));
         kernels.push(common::fc(
-            batch,
+            rows,
             model.d_ff,
             d_model,
             KernelCategory::FeedForward,
@@ -239,14 +331,89 @@ pub fn build_decode_schedule(
             false,
         ));
         kernels.push(common::layernorm(
-            batch,
+            rows,
             d_model,
             "",
             &format!("{prefix}.ff2"),
             &format!("l{}.x", layer + 1),
         ));
     }
+
+    #[cfg(debug_assertions)]
+    {
+        let report = check_decode_schedule(model, ctxs, params, &kernels);
+        debug_assert!(
+            !report.has_errors(),
+            "build_batched_decode_schedule produced a schedule that fails static analysis:\n{}",
+            report.render()
+        );
+    }
     kernels
+}
+
+/// Builds the kernel schedule for generating ONE token per sequence of the
+/// batch, all at context length `ctx` (KV cache already populated) — the
+/// homogeneous special case of [`build_batched_decode_schedule`].
+///
+/// # Panics
+///
+/// Panics for non-dense models (decode with block-sparse caches is not
+/// modeled) and for the online-fused strategy.
+pub fn build_decode_schedule(
+    model: &ModelConfig,
+    ctx: usize,
+    params: &RunParams,
+) -> Vec<KernelDesc> {
+    build_batched_decode_schedule(model, &vec![ctx; params.batch], params)
+}
+
+/// Flattens a model/run-parameter pair plus the iteration's context lengths
+/// into the analyzer's [`ScheduleSpec`] for a batched-decode schedule:
+/// `seq_len = 1`, `batch = ctxs.len()` (so the FC/LayerNorm formulas apply
+/// unchanged) and the per-row contexts in [`DecodeSpec`] (driving the exact
+/// SDA traffic and footprint sums).
+pub fn decode_analysis_spec(
+    model: &ModelConfig,
+    ctxs: &[usize],
+    params: &RunParams,
+) -> ScheduleSpec {
+    ScheduleSpec {
+        seq_len: 1,
+        batch: ctxs.len(),
+        heads: model.heads,
+        d_model: model.d_model,
+        d_ff: model.d_ff,
+        layers: model.layers,
+        strategy: match params.strategy {
+            SoftmaxStrategy::Baseline => StrategyKind::Baseline,
+            SoftmaxStrategy::Decomposed => StrategyKind::Decomposed,
+            SoftmaxStrategy::Recomposed => StrategyKind::Recomposed,
+            SoftmaxStrategy::OnlineFused => StrategyKind::OnlineFused,
+        },
+        tile_m: params.tile.m,
+        tile_n: params.tile.n,
+        softmax_overhead: 1.0,
+        matmul_overhead: 1.0,
+        attention_overhead: 1.0,
+        separate_scale_mask: false,
+        separate_elementwise: false,
+        sparse: None,
+        decode: Some(DecodeSpec {
+            ctxs: ctxs.to_vec(),
+        }),
+    }
+}
+
+/// Statically analyzes a batched-decode schedule against the spec implied by
+/// `(model, ctxs, params)`, returning the full diagnostic report.
+pub fn check_decode_schedule(
+    model: &ModelConfig,
+    ctxs: &[usize],
+    params: &RunParams,
+    kernels: &[KernelDesc],
+) -> resoftmax_analyzer::Report {
+    let spec = decode_analysis_spec(model, ctxs, params);
+    resoftmax_analyzer::Report::new(resoftmax_analyzer::analyze(&spec, kernels))
 }
 
 /// Simulates generating one token at context length `ctx`.
@@ -323,5 +490,112 @@ mod tests {
     #[should_panic(expected = "dense attention only")]
     fn sparse_decode_rejected() {
         let _ = build_decode_schedule(&ModelConfig::bigbird_large(), 4096, &RunParams::new(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_ctx_rejected() {
+        let _ = build_batched_decode_schedule(
+            &ModelConfig::gpt_neo_1_3b(),
+            &[128, 0],
+            &RunParams::new(4096),
+        );
+    }
+
+    /// Regression (IR padded-TB overcount): the remainder thread block must
+    /// charge only its true instance rows. GPT-Neo at batch 1 has 16
+    /// instances in one 64-row TB — a padded figure is a 4x overcount.
+    #[test]
+    fn ir_remainder_tb_charges_true_rows() {
+        let m = ModelConfig::gpt_neo_1_3b();
+        let ctx = 4096;
+        let params = RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed);
+        let ks = build_decode_schedule(&m, ctx, &params);
+        let ir = ks
+            .iter()
+            .find(|k| k.category == KernelCategory::InterReduction)
+            .expect("recomposed decode has an IR kernel");
+        let n_sv = ctx.div_ceil(params.tile.n);
+        let expected = (m.heads * n_sv * FP16_BYTES) as f64; // 16 rows, not 64
+        assert_eq!(ir.tbs.total_write_bytes(), expected);
+        assert_eq!(ir.tbs.total_read_bytes(), 2.0 * expected);
+    }
+
+    /// Regression (r' dead store): the recomposed PV kernel must read the
+    /// IR output and account its bytes.
+    #[test]
+    fn recomposed_pv_reads_r_prime() {
+        let m = ModelConfig::gpt_neo_1_3b();
+        let params = RunParams::new(4096).strategy(SoftmaxStrategy::Recomposed);
+        let ks = build_decode_schedule(&m, 4096, &params);
+        let pv = ks
+            .iter()
+            .find(|k| k.category == KernelCategory::MatMulPv)
+            .expect("decode has a PV kernel");
+        let r_prime = pv
+            .reads
+            .iter()
+            .find(|b| b.id.ends_with("r_prime"))
+            .expect("recomposed PV must read r_prime");
+        let n_sv = 4096_usize.div_ceil(params.tile.n);
+        assert_eq!(r_prime.bytes, (n_sv * FP16_BYTES * m.heads) as u64);
+    }
+
+    /// Regression (warp alignment): decode softmax thread counts are whole
+    /// warps even for awkward context lengths (260/4 = 65 before rounding).
+    #[test]
+    fn decode_softmax_threads_are_warp_aligned() {
+        let m = ModelConfig::gpt_neo_1_3b();
+        for ctx in [260, 1000, 4096] {
+            let ks = build_batched_decode_schedule(&m, &[ctx], &RunParams::new(4096));
+            let sm = ks
+                .iter()
+                .find(|k| k.category == KernelCategory::Softmax)
+                .expect("baseline decode has a softmax kernel");
+            assert_eq!(sm.shape.threads % 32, 0, "ctx={ctx}: {}", sm.shape.threads);
+        }
+    }
+
+    #[test]
+    fn batched_heterogeneous_contexts_run() {
+        let m = ModelConfig::gpt_neo_1_3b();
+        let ctxs = [260, 1000, 1000, 4096];
+        for strategy in [SoftmaxStrategy::Baseline, SoftmaxStrategy::Recomposed] {
+            let params = RunParams::new(4096).strategy(strategy);
+            let ks = build_batched_decode_schedule(&m, &ctxs, &params);
+            let report = check_decode_schedule(&m, &ctxs, &params, &ks);
+            assert!(!report.has_errors(), "{strategy:?}:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn batched_decode_scales_sublinearly() {
+        // Four rows in one fused iteration beat four single-row iterations:
+        // the weight streams are shared across the batch.
+        let m = ModelConfig::gpt_neo_1_3b();
+        let params = RunParams::new(4096);
+        let device = DeviceSpec::a100();
+        let one = crate::engine::simulate_schedule(
+            "decode_batch",
+            &m,
+            &params,
+            device.clone(),
+            &build_batched_decode_schedule(&m, &[2048], &params),
+        )
+        .unwrap();
+        let four = crate::engine::simulate_schedule(
+            "decode_batch",
+            &m,
+            &params,
+            device,
+            &build_batched_decode_schedule(&m, &[2048; 4], &params),
+        )
+        .unwrap();
+        assert!(
+            four.total_time_s() < 4.0 * one.total_time_s(),
+            "batched {} vs 4x single {}",
+            four.total_time_s(),
+            4.0 * one.total_time_s()
+        );
     }
 }

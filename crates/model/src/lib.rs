@@ -43,7 +43,10 @@ mod training;
 mod workload;
 
 pub use config::{AttentionKind, ModelConfig};
-pub use decode::{build_decode_schedule, run_decode_step};
+pub use decode::{
+    build_batched_decode_schedule, build_decode_schedule, check_decode_schedule,
+    decode_analysis_spec, run_decode_step,
+};
 pub use engine::{run_inference, RunReport};
 pub use error::Error;
 pub use library::{LibraryProfile, SparseSupport};

@@ -228,6 +228,7 @@ pub fn analysis_spec(model: &ModelConfig, params: &RunParams) -> ScheduleSpec {
         separate_scale_mask: profile.separate_scale_mask,
         separate_elementwise: profile.separate_elementwise,
         sparse,
+        decode: None,
     }
 }
 

@@ -117,8 +117,31 @@ impl Session {
     ///
     /// [`Error::InvalidConfig`] for the combinations the decode cost model
     /// does not cover (sparse attention, the online-fused strategy, zero
-    /// `ctx`); [`Error::Launch`] if a kernel cannot launch.
+    /// `ctx`); [`Error::Analysis`] if the schedule fails static analysis
+    /// (and analysis was not disabled); [`Error::Launch`] if a kernel cannot
+    /// launch.
     pub fn decode_step(&self, ctx: usize) -> Result<RunReport, Error> {
+        if ctx == 0 {
+            return Err(Error::InvalidConfig {
+                reason: "decode context length must be nonzero".to_owned(),
+            });
+        }
+        self.decode_batch(&vec![ctx; self.params.batch])
+    }
+
+    /// Simulates one continuous-batching engine iteration: one token is
+    /// generated per entry of `ctxs`, each row attending a KV cache of that
+    /// (possibly different) length. This is the entry point the serving
+    /// scheduler drives; `ctxs.len()` overrides the session batch size.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for the combinations the decode cost model
+    /// does not cover (sparse attention, the online-fused strategy, an empty
+    /// batch, a zero context); [`Error::Analysis`] if the schedule fails
+    /// static analysis (and analysis was not disabled); [`Error::Launch`] if
+    /// a kernel cannot launch.
+    pub fn decode_batch(&self, ctxs: &[usize]) -> Result<RunReport, Error> {
         if !matches!(self.model.attention, AttentionKind::Dense { .. }) {
             return Err(Error::InvalidConfig {
                 reason: format!(
@@ -133,12 +156,28 @@ impl Session {
                     .to_owned(),
             });
         }
-        if ctx == 0 {
+        if ctxs.is_empty() {
+            return Err(Error::InvalidConfig {
+                reason: "decode batch must contain at least one row".to_owned(),
+            });
+        }
+        if ctxs.contains(&0) {
             return Err(Error::InvalidConfig {
                 reason: "decode context length must be nonzero".to_owned(),
             });
         }
-        let schedule = crate::decode::build_decode_schedule(&self.model, ctx, &self.params);
+        let schedule =
+            crate::decode::build_batched_decode_schedule(&self.model, ctxs, &self.params);
+        if self.analyze {
+            let report =
+                crate::decode::check_decode_schedule(&self.model, ctxs, &self.params, &schedule);
+            if report.has_errors() {
+                return Err(Error::Analysis {
+                    errors: report.count(resoftmax_analyzer::Severity::Error),
+                    report: report.render(),
+                });
+            }
+        }
         Ok(simulate_schedule(
             "Session::decode_step",
             &self.model,
@@ -354,5 +393,24 @@ mod tests {
             dense.decode_step(0),
             Err(Error::InvalidConfig { .. })
         ));
+        assert!(matches!(
+            dense.decode_batch(&[]),
+            Err(Error::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            dense.decode_batch(&[512, 0]),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_batch_accepts_heterogeneous_contexts() {
+        let s = Session::builder()
+            .model(ModelConfig::gpt_neo_1_3b())
+            .params(RunParams::new(1024))
+            .build()
+            .unwrap();
+        let r = s.decode_batch(&[260, 1000, 4096]).unwrap();
+        assert!(r.total_time_s() > 0.0);
     }
 }

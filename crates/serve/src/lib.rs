@@ -1,0 +1,47 @@
+//! Continuous-batching serving simulator on top of the decode cost model —
+//! an extension beyond the paper's full-sequence scope.
+//!
+//! The paper prices one inference iteration at a time. Production LLM
+//! serving instead runs an *engine loop*: requests arrive over time, a
+//! KV-cache pool admits as many as fit in device memory, and every engine
+//! iteration fuses chunked prefill with single-token decode across whatever
+//! mix of context lengths is currently resident (iteration-level a.k.a.
+//! continuous batching). This crate simulates that loop against the
+//! [`resoftmax_gpusim`] timing model so the recomposition question can be
+//! asked where it is usually asked in practice — under serving load — with
+//! the same measured-not-asserted discipline as the rest of the repo.
+//!
+//! Everything runs on a *simulated* clock (the GPU timeline advances it), so
+//! reports are bit-identical regardless of the host's worker-thread count.
+//!
+//! ```
+//! use resoftmax_gpusim::DeviceSpec;
+//! use resoftmax_model::{ModelConfig, RunParams};
+//! use resoftmax_serve::{run_serve, ServeConfig};
+//!
+//! let cfg = ServeConfig {
+//!     requests: 4,
+//!     ..ServeConfig::default()
+//! };
+//! let report = run_serve(
+//!     &ModelConfig::gpt_neo_1_3b(),
+//!     &DeviceSpec::a100(),
+//!     &RunParams::new(4096),
+//!     &cfg,
+//! )
+//! .unwrap();
+//! assert_eq!(report.completed, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod kv;
+mod metrics;
+mod request;
+
+pub use engine::run_serve;
+pub use kv::{kv_bytes_per_token, weight_bytes, KvPool};
+pub use metrics::{Percentiles, ServeReport};
+pub use request::{poisson_arrivals, Arrival, Policy, ServeConfig};

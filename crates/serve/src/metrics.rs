@@ -1,0 +1,104 @@
+//! Latency/throughput aggregation for serving runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentiles over a latency sample (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+    /// 50th percentile (nearest rank).
+    pub p50_s: f64,
+    /// 90th percentile (nearest rank).
+    pub p90_s: f64,
+    /// 99th percentile (nearest rank).
+    pub p99_s: f64,
+    /// Maximum.
+    pub max_s: f64,
+}
+
+impl Percentiles {
+    /// Computes nearest-rank percentiles. Sorting uses total order, so the
+    /// result is deterministic for any input permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample — callers report "no data" explicitly
+    /// rather than fabricating zeros.
+    pub fn from_samples(samples: &[f64]) -> Percentiles {
+        assert!(!samples.is_empty(), "percentiles need at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1];
+        Percentiles {
+            n: sorted.len(),
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_s: rank(0.50),
+            p90_s: rank(0.90),
+            p99_s: rank(0.99),
+            max_s: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// The outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Softmax strategy the engine ran ("baseline", "recomposed", ...).
+    pub strategy: String,
+    /// Admission policy name.
+    pub policy: String,
+    /// Requests that ran to completion.
+    pub completed: usize,
+    /// Engine iterations executed.
+    pub iterations: usize,
+    /// Times a running request was evicted to free KV blocks.
+    pub evictions: usize,
+    /// Simulated wall-clock at the last completion, seconds.
+    pub sim_time_s: f64,
+    /// Prompt tokens prefetched into the cache (re-prefill after eviction
+    /// counts again — it is real work).
+    pub prefill_tokens: u64,
+    /// Output tokens generated.
+    pub decode_tokens: u64,
+    /// Output tokens per simulated second.
+    pub decode_tokens_per_s: f64,
+    /// Time to first generated token, per request.
+    pub ttft: Percentiles,
+    /// Time between output tokens (one sample per decode row per
+    /// iteration).
+    pub tbt: Percentiles,
+    /// Peak KV-pool occupancy in `[0, 1]`.
+    pub kv_peak_occupancy: f64,
+    /// Mean of the per-iteration KV occupancy samples.
+    pub kv_mean_occupancy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = Percentiles::from_samples(&s);
+        assert_eq!(p.p50_s, 50.0);
+        assert_eq!(p.p90_s, 90.0);
+        assert_eq!(p.p99_s, 99.0);
+        assert_eq!(p.max_s, 100.0);
+        assert!((p.mean_s - 50.5).abs() < 1e-12);
+
+        let one = Percentiles::from_samples(&[0.25]);
+        assert_eq!(one.p50_s, 0.25);
+        assert_eq!(one.p99_s, 0.25);
+    }
+
+    #[test]
+    fn permutation_invariant() {
+        let a = Percentiles::from_samples(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        let b = Percentiles::from_samples(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! Workload description: request arrivals and scheduler configuration.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Admission-order policy for the waiting queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// First-come, first-served (arrival order).
+    Fifo,
+    /// Shortest remaining work first (prefill + decode tokens still owed);
+    /// ties break on arrival order, so the schedule stays deterministic.
+    ShortestRemaining,
+}
+
+impl Policy {
+    /// Stable lowercase name, used in report rows and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::ShortestRemaining => "shortest-remaining",
+        }
+    }
+}
+
+/// One request: arrival time plus prompt/decode token counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Simulated arrival time in seconds.
+    pub at_s: f64,
+    /// Prompt tokens to prefill before the first output token.
+    pub prompt: usize,
+    /// Output tokens to generate.
+    pub decode: usize,
+}
+
+/// Serving-simulation configuration (workload + scheduler + pool).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// RNG seed for the arrival process.
+    pub seed: u64,
+    /// Number of requests in the trace.
+    pub requests: usize,
+    /// Poisson arrival rate (requests per simulated second).
+    pub arrival_rate_hz: f64,
+    /// Inclusive range of prompt lengths, sampled uniformly.
+    pub prompt_tokens: (usize, usize),
+    /// Inclusive range of output lengths, sampled uniformly.
+    pub decode_tokens: (usize, usize),
+    /// Maximum requests resident in one engine iteration.
+    pub max_batch: usize,
+    /// Prefill chunk size in tokens (chunked prefill à la Sarathi/vLLM:
+    /// long prompts are spread over iterations so decode rows keep flowing).
+    pub prefill_chunk: usize,
+    /// Waiting-queue order.
+    pub policy: Policy,
+    /// KV pool capacity override in bytes. `None` sizes the pool from the
+    /// device HBM minus the model weights; tests and benches set a small
+    /// value to exercise admission control and eviction.
+    pub kv_capacity_bytes: Option<u64>,
+    /// Tokens per KV block.
+    pub kv_block_tokens: usize,
+    /// Safety bound on engine iterations (a scheduling bug would otherwise
+    /// spin forever on the simulated clock).
+    pub max_iterations: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 0xC0FFEE,
+            requests: 64,
+            arrival_rate_hz: 32.0,
+            prompt_tokens: (128, 768),
+            decode_tokens: (16, 128),
+            max_batch: 8,
+            prefill_chunk: 256,
+            policy: Policy::Fifo,
+            kv_capacity_bytes: None,
+            kv_block_tokens: 16,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Samples the request trace: exponential inter-arrival gaps at
+/// `arrival_rate_hz`, uniform prompt/decode lengths. Deterministic in
+/// `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics on degenerate configs (zero requests, non-positive rate, empty
+/// or zero token ranges).
+pub fn poisson_arrivals(cfg: &ServeConfig) -> Vec<Arrival> {
+    assert!(cfg.requests > 0, "trace needs at least one request");
+    assert!(
+        cfg.arrival_rate_hz > 0.0,
+        "arrival rate must be positive, got {}",
+        cfg.arrival_rate_hz
+    );
+    let ((p_lo, p_hi), (d_lo, d_hi)) = (cfg.prompt_tokens, cfg.decode_tokens);
+    assert!(p_lo > 0 && p_lo <= p_hi, "bad prompt range {p_lo}..={p_hi}");
+    assert!(d_lo > 0 && d_lo <= d_hi, "bad decode range {d_lo}..={d_hi}");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut now = 0.0f64;
+    (0..cfg.requests)
+        .map(|_| {
+            // Inverse-CDF exponential gap; 1-u keeps the log argument in (0, 1].
+            let u: f64 = rng.gen_range(0.0..1.0);
+            now += -(1.0 - u).ln() / cfg.arrival_rate_hz;
+            Arrival {
+                at_s: now,
+                prompt: rng.gen_range(p_lo..p_hi + 1),
+                decode: rng.gen_range(d_lo..d_hi + 1),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_and_ordered() {
+        let cfg = ServeConfig::default();
+        let a = poisson_arrivals(&cfg);
+        let b = poisson_arrivals(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.requests);
+        assert!(a.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        assert!(a.iter().all(|r| {
+            (cfg.prompt_tokens.0..=cfg.prompt_tokens.1).contains(&r.prompt)
+                && (cfg.decode_tokens.0..=cfg.decode_tokens.1).contains(&r.decode)
+        }));
+        // Mean gap should be in the ballpark of 1/rate (loose 3x bounds).
+        let mean_gap = a.last().unwrap().at_s / a.len() as f64;
+        let expect = 1.0 / cfg.arrival_rate_hz;
+        assert!(
+            (expect / 3.0..expect * 3.0).contains(&mean_gap),
+            "mean gap {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = poisson_arrivals(&ServeConfig::default());
+        let b = poisson_arrivals(&ServeConfig {
+            seed: 1,
+            ..ServeConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+}
