@@ -4,37 +4,75 @@
 //! observes transformer MatMuls use `T ≥ 64`; the IR overhead scales as
 //! `1/T`. This sweep shows the SDF speedup and the intermediate-tensor
 //! traffic as `T` varies.
+//!
+//! Every grid point is routed through the tuner's legality gate
+//! (`resoftmax_tune::precheck`) before it is priced: illegal widths — the
+//! grid deliberately includes `T = 48`, which does not divide `L = 4096` —
+//! are reported as skipped with the analyzer's reason instead of panicking
+//! mid-sweep. Rows land in `BENCH_ablation_tile.json` in the shared
+//! `{bin, config, metric, value}` schema.
 
-use resoftmax_bench::{device_from_args, PAPER_SEQ_LEN};
+use resoftmax_bench::{write_report, BenchArgs, BenchRow, PAPER_SEQ_LEN};
 use resoftmax_core::format::{render_table, speedup};
 use resoftmax_kernels::costs::TileConfig;
 use resoftmax_model::{run_inference, ModelConfig, RunParams, SoftmaxStrategy};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let device = device_from_args(&args);
+    let args = BenchArgs::parse();
+    let device = resoftmax_bench::device_from_args(&args.rest);
     let model = ModelConfig::bert_large();
+    let widths: &[usize] = if args.smoke {
+        &[32, 48, 64]
+    } else {
+        &[16, 32, 48, 64, 128, 256]
+    };
 
     let base =
         run_inference(&model, &RunParams::new(PAPER_SEQ_LEN), device.clone()).expect("launchable");
 
     let mut rows = Vec::new();
-    for t in [16usize, 32, 64, 128, 256] {
+    let mut report = Vec::new();
+    for &t in widths {
         let params = RunParams::new(PAPER_SEQ_LEN)
             .strategy(SoftmaxStrategy::Recomposed)
             .tile(TileConfig::new(64, t));
+        // Legality gate first: skip-with-reason instead of panicking on
+        // widths the schedule builder cannot honour.
+        if let Err(skip) = resoftmax_tune::precheck(&model, &params) {
+            rows.push(vec![
+                format!("{t}"),
+                "skipped".to_owned(),
+                format!("{skip}"),
+                "-".to_owned(),
+            ]);
+            continue;
+        }
         let sdf = run_inference(&model, &params, device.clone()).expect("launchable");
         let intermediates_mb = {
             // m' + d' + r': 3 values per (row, sub-vector) per instance
             let n_sv = PAPER_SEQ_LEN / t;
             (3 * PAPER_SEQ_LEN * n_sv * 2 * 16) as f64 / 1e6
         };
+        let ratio = base.total_time_s() / sdf.total_time_s();
         rows.push(vec![
             format!("{t}"),
-            speedup(base.total_time_s() / sdf.total_time_s()),
+            speedup(ratio),
             format!("{:.2}x", sdf.total_dram_bytes() / base.total_dram_bytes()),
             format!("{intermediates_mb:.0} MB"),
         ]);
+        let config = format!("{}/{}/T{t}", model.name, device.name);
+        report.push(BenchRow::new(
+            "ablation_tile_size",
+            &config,
+            "sdf_speedup",
+            ratio,
+        ));
+        report.push(BenchRow::new(
+            "ablation_tile_size",
+            &config,
+            "traffic_ratio",
+            sdf.total_dram_bytes() / base.total_dram_bytes(),
+        ));
     }
     println!(
         "ABLATION: sub-vector length T on {} (BERT-large, L={PAPER_SEQ_LEN})",
@@ -53,4 +91,5 @@ fn main() {
             &rows
         )
     );
+    write_report(&args.out_or("BENCH_ablation_tile.json"), &report);
 }

@@ -5,25 +5,34 @@
 //! ```text
 //! cargo run --release -p resoftmax-bench --bin grid_sweep > sweep.csv
 //! cargo run --release -p resoftmax-bench --bin grid_sweep -- t4 --json
+//! cargo run --release -p resoftmax-bench --bin grid_sweep -- --smoke --out rows.json
 //! ```
+//!
+//! `--smoke` shrinks the sweep for CI; `--out <path>` additionally writes
+//! the points in the shared `{bin, config, metric, value}` row schema.
 
-use resoftmax_bench::{json_requested, print_json};
+use resoftmax_bench::{json_requested, print_json, write_report, BenchArgs, BenchRow};
 use resoftmax_core::experiments::full_grid_sweep;
 use resoftmax_core::format::render_csv;
 use resoftmax_gpusim::DeviceSpec;
 use resoftmax_model::SoftmaxStrategy;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let devices: Vec<DeviceSpec> = if args.iter().any(|a| a == "all") {
+    let args = BenchArgs::parse();
+    let devices: Vec<DeviceSpec> = if args.rest.iter().any(|a| a == "all") {
         DeviceSpec::all_presets()
     } else {
-        vec![resoftmax_bench::device_from_args(&args)]
+        vec![resoftmax_bench::device_from_args(&args.rest)]
+    };
+    let (seq_lens, batches): (&[usize], &[usize]) = if args.smoke {
+        (&[512, 1024], &[1, 2])
+    } else {
+        (&[512, 1024, 2048, 4096, 8192], &[1, 2, 4, 8])
     };
     let points = full_grid_sweep(
         &devices,
-        &[512, 1024, 2048, 4096, 8192],
-        &[1, 2, 4, 8],
+        seq_lens,
+        batches,
         &[
             SoftmaxStrategy::Baseline,
             SoftmaxStrategy::Decomposed,
@@ -33,7 +42,27 @@ fn main() {
     )
     .expect("launchable");
 
-    if json_requested(&args) {
+    if let Some(out) = &args.out {
+        let rows: Vec<BenchRow> = points
+            .iter()
+            .flat_map(|p| {
+                let config = format!(
+                    "{}/{}/{}/L{}/b{}",
+                    p.device, p.model, p.strategy, p.seq_len, p.batch
+                );
+                [
+                    BenchRow::new("grid_sweep", &config, "total_ms", p.total_ms),
+                    BenchRow::new("grid_sweep", &config, "dram_gb", p.dram_gb),
+                    BenchRow::new("grid_sweep", &config, "energy_j", p.energy_j),
+                    BenchRow::new("grid_sweep", &config, "softmax_frac", p.softmax_frac),
+                ]
+            })
+            .collect();
+        write_report(out, &rows);
+        return;
+    }
+
+    if json_requested(&args.rest) {
         print_json(&points);
         return;
     }

@@ -14,6 +14,94 @@
 
 use resoftmax_gpusim::DeviceSpec;
 use resoftmax_model::{LibraryProfile, ModelConfig, RunParams, SoftmaxStrategy};
+use serde::{Deserialize, Serialize};
+
+mod tune_bin;
+
+pub use tune_bin::tune_main;
+
+/// The common CLI surface of the experiment binaries: `--smoke` (reduced
+/// grid plus the 1-vs-4-worker-thread determinism gate), `--out <path>` or
+/// a bare positional path (report destination), everything else passed
+/// through (device names, sweep selectors).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchArgs {
+    /// Reduced grid + determinism gate requested (`--smoke`).
+    pub smoke: bool,
+    /// Report destination (`--out <path>` or a bare non-flag argument).
+    pub out: Option<String>,
+    /// Remaining arguments, in order, for bin-specific parsing.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments (everything after the binary name).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument list (testable form of [`parse`](Self::parse)).
+    pub fn from_args(args: Vec<String>) -> Self {
+        let mut out = BenchArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--smoke" => out.smoke = true,
+                "--out" => out.out = iter.next(),
+                _ if !a.starts_with("--") && out.out.is_none() && a.ends_with(".json") => {
+                    out.out = Some(a);
+                }
+                _ => out.rest.push(a),
+            }
+        }
+        out
+    }
+
+    /// The report path, or `default` when none was given.
+    pub fn out_or(&self, default: &str) -> String {
+        self.out.clone().unwrap_or_else(|| default.to_owned())
+    }
+}
+
+/// One row of a machine-readable benchmark report — the schema shared by
+/// every migrated experiment binary, so downstream tooling can concatenate
+/// `BENCH_*.json` files without per-bin parsers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// The producing binary (`"tune"`, `"ablation_tile_size"`, …).
+    pub bin: String,
+    /// The grid point, e.g. `"bert-large/A100/prefill/L4096/b1"`.
+    pub config: String,
+    /// The measured quantity, e.g. `"tuned_s"`, `"speedup"`.
+    pub metric: String,
+    /// The value, in the metric's unit.
+    pub value: f64,
+}
+
+impl BenchRow {
+    /// Constructs a row.
+    pub fn new(
+        bin: impl Into<String>,
+        config: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        BenchRow {
+            bin: bin.into(),
+            config: config.into(),
+            metric: metric.into(),
+            value,
+        }
+    }
+}
+
+/// Writes a benchmark report as pretty JSON (the `BENCH_*.json` convention)
+/// and logs the destination.
+pub fn write_report(path: &str, rows: &[BenchRow]) {
+    let json = serde_json::to_string_pretty(&rows).expect("benchmark rows serialize");
+    std::fs::write(path, format!("{json}\n")).expect("writable benchmark report path");
+    println!("report written to {path} ({} rows)", rows.len());
+}
 
 /// Resolves a device name from an optional CLI argument
 /// (`a100` default, `3090`, `t4`).

@@ -339,6 +339,8 @@ pub fn build_batched_decode_schedule(
         ));
     }
 
+    crate::schedule::apply_ls_split(params, &mut kernels);
+
     #[cfg(debug_assertions)]
     {
         let report = check_decode_schedule(model, ctxs, params, &kernels);
@@ -385,8 +387,11 @@ pub fn decode_analysis_spec(
         d_ff: model.d_ff,
         layers: model.layers,
         strategy: match params.strategy {
-            SoftmaxStrategy::Baseline => StrategyKind::Baseline,
-            SoftmaxStrategy::Decomposed => StrategyKind::Decomposed,
+            // Unfused decomposition has no dedicated decode path: the
+            // builder emits the monolithic softmax for it (one row per
+            // instance leaves nothing for standalone LS/IR/GS to win), so
+            // the spec must expect the baseline kernel pattern.
+            SoftmaxStrategy::Baseline | SoftmaxStrategy::Decomposed => StrategyKind::Baseline,
             SoftmaxStrategy::Recomposed => StrategyKind::Recomposed,
             SoftmaxStrategy::OnlineFused => StrategyKind::OnlineFused,
         },
@@ -560,7 +565,13 @@ mod tests {
     fn batched_heterogeneous_contexts_run() {
         let m = ModelConfig::gpt_neo_1_3b();
         let ctxs = [260, 1000, 1000, 4096];
-        for strategy in [SoftmaxStrategy::Baseline, SoftmaxStrategy::Recomposed] {
+        // Decomposed rides the baseline decode path (monolithic softmax);
+        // it must analyze clean too, not just build.
+        for strategy in [
+            SoftmaxStrategy::Baseline,
+            SoftmaxStrategy::Decomposed,
+            SoftmaxStrategy::Recomposed,
+        ] {
             let params = RunParams::new(4096).strategy(strategy);
             let ks = build_batched_decode_schedule(&m, &ctxs, &params);
             let report = check_decode_schedule(&m, &ctxs, &params, &ks);

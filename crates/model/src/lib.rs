@@ -50,6 +50,7 @@ pub use decode::{
 pub use engine::{run_inference, RunReport};
 pub use error::Error;
 pub use library::{LibraryProfile, SparseSupport};
+pub use resoftmax_gpusim::ParallelSplit;
 pub use schedule::{analysis_spec, build_schedule, check_schedule, RunParams, SoftmaxStrategy};
 pub use seq2seq::{build_seq2seq_schedule, run_seq2seq, Seq2SeqConfig};
 pub use session::{Session, SessionBuilder};

@@ -13,7 +13,7 @@
 use crate::config::ModelConfig;
 use crate::library::{LibraryProfile, SparseSupport};
 use resoftmax_analyzer::{ScheduleSpec, SparseSpec, StrategyKind};
-use resoftmax_gpusim::{KernelCategory, KernelDesc, TbSet};
+use resoftmax_gpusim::{KernelCategory, KernelDesc, ParallelSplit, TbSet};
 use resoftmax_kernels::costs::{common, dense, sparse, AttnDims, TileConfig};
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +70,12 @@ pub struct RunParams {
     pub profile: LibraryProfile,
     /// MatMul tile (its width is the LS sub-vector length `T`).
     pub tile: TileConfig,
+    /// Overrides the declared parallel split of every standalone Local
+    /// Softmax kernel (`None` keeps the generators' defaults). This is a
+    /// schedule *annotation*, not a cost knob: the static analyzer rejects
+    /// any override that crosses the category's reduction axis, which is how
+    /// the autotuner prunes illegal points of its `ParallelSplit` dimension.
+    pub ls_split: Option<ParallelSplit>,
 }
 
 impl RunParams {
@@ -82,6 +88,7 @@ impl RunParams {
             strategy: SoftmaxStrategy::Baseline,
             profile: LibraryProfile::ours_baseline(),
             tile: TileConfig::default(),
+            ls_split: None,
         }
     }
 
@@ -107,6 +114,23 @@ impl RunParams {
     pub fn tile(mut self, tile: TileConfig) -> Self {
         self.tile = tile;
         self
+    }
+
+    /// Sets the Local-Softmax parallel-split override.
+    pub fn ls_split(mut self, split: Option<ParallelSplit>) -> Self {
+        self.ls_split = split;
+        self
+    }
+}
+
+impl Default for RunParams {
+    /// The paper's default operating point: `L = 4096`, batch 1, monolithic
+    /// softmax, 64×64 tiles, the paper's own baseline library profile. This
+    /// is the reference configuration the autotuner reports speedups
+    /// against (`RunParams { seq_len, batch, ..RunParams::default() }`
+    /// re-anchors it to another workload).
+    fn default() -> Self {
+        RunParams::new(4096)
     }
 }
 
@@ -171,6 +195,7 @@ pub fn build_schedule(model: &ModelConfig, params: &RunParams) -> Vec<KernelDesc
         };
         scale_work(k, factor);
     }
+    apply_ls_split(params, &mut kernels);
 
     // Debug builds statically verify every schedule they hand out: fusion
     // legality, buffer dataflow, and traffic conservation (release builds
@@ -185,6 +210,23 @@ pub fn build_schedule(model: &ModelConfig, params: &RunParams) -> Vec<KernelDesc
         );
     }
     kernels
+}
+
+/// Applies the [`RunParams::ls_split`] override to every standalone Local
+/// Softmax kernel of a built schedule (dense `local_softmax` and the
+/// block-sparse `bs_local_softmax`). A declared split the analyzer's
+/// parallel rule rejects (e.g. `ReductionAxis`) makes the schedule fail
+/// [`check_schedule`] — intentionally: that is the pruning signal the
+/// autotuner's `ParallelSplit` search dimension relies on. Callers that
+/// build schedules directly in debug builds should therefore validate the
+/// override first (see `resoftmax-tune`'s precheck).
+pub(crate) fn apply_ls_split(params: &RunParams, kernels: &mut [KernelDesc]) {
+    let Some(split) = params.ls_split else { return };
+    for k in kernels {
+        if k.category == KernelCategory::LocalSoftmax {
+            k.meta.split = Some(split);
+        }
+    }
 }
 
 /// Flattens a model/run-parameter pair into the analyzer's

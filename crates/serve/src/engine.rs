@@ -47,6 +47,34 @@ enum Row {
     Decode { id: usize },
 }
 
+/// Chooses the run parameters used to price one fused engine iteration.
+///
+/// Every engine iteration is one batched GPU schedule mixing chunked-prefill
+/// rows with single-token decode rows; `ctxs` lists the context length of
+/// each row in that schedule. A planner may pick a different strategy, tile,
+/// or split per iteration shape — this is the hook an autotuner
+/// (`resoftmax-tune`) uses to serve every iteration with its tuned schedule
+/// instead of the fixed base parameters.
+///
+/// Implementations must be deterministic in `ctxs` and `base` (the serving
+/// report is asserted bit-identical across host thread counts).
+pub trait IterationPlanner {
+    /// Returns the parameters for pricing the iteration over `ctxs`. The
+    /// returned configuration must be decode-legal (dense attention, not
+    /// [`resoftmax_model::SoftmaxStrategy::OnlineFused`]).
+    fn plan(&self, ctxs: &[usize], base: &RunParams) -> RunParams;
+}
+
+/// The pre-tuner behavior: every iteration is priced with the base
+/// parameters unchanged.
+pub struct BaselinePlanner;
+
+impl IterationPlanner for BaselinePlanner {
+    fn plan(&self, _ctxs: &[usize], base: &RunParams) -> RunParams {
+        base.clone()
+    }
+}
+
 /// Runs the serving simulation to completion and aggregates the report.
 ///
 /// Deterministic in `cfg.seed`: the clock is the simulated GPU timeline, so
@@ -67,6 +95,23 @@ pub fn run_serve(
     device: &DeviceSpec,
     params: &RunParams,
     cfg: &ServeConfig,
+) -> Result<ServeReport, LaunchError> {
+    run_serve_with(model, device, params, cfg, &BaselinePlanner)
+}
+
+/// [`run_serve`] with an explicit [`IterationPlanner`]: every engine
+/// iteration (chunked prefill fused with batched decode) is priced with the
+/// parameters the planner returns for that iteration's row mix.
+///
+/// # Errors / Panics
+///
+/// As [`run_serve`].
+pub fn run_serve_with(
+    model: &ModelConfig,
+    device: &DeviceSpec,
+    params: &RunParams,
+    cfg: &ServeConfig,
+    planner: &dyn IterationPlanner,
 ) -> Result<ServeReport, LaunchError> {
     let arrivals = poisson_arrivals(cfg);
     let capacity = cfg.kv_capacity_bytes.unwrap_or_else(|| {
@@ -212,7 +257,8 @@ pub fn run_serve(
         // drains cost state (and flushes L2) so one `Gpu` serves the whole
         // run without re-paying construction per iteration.
         let span = resoftmax_obs::span("serve.iteration", "serve");
-        gpu.run(&build_batched_decode_schedule(model, &ctxs, params))?;
+        let iter_params = planner.plan(&ctxs, params);
+        gpu.run(&build_batched_decode_schedule(model, &ctxs, &iter_params))?;
         let dt = gpu.take_timeline().total_time_s();
         drop(span);
         now += dt;

@@ -41,7 +41,7 @@ mod kv;
 mod metrics;
 mod request;
 
-pub use engine::run_serve;
+pub use engine::{run_serve, run_serve_with, BaselinePlanner, IterationPlanner};
 pub use kv::{kv_bytes_per_token, weight_bytes, KvPool};
 pub use metrics::{Percentiles, ServeReport};
 pub use request::{poisson_arrivals, Arrival, Policy, ServeConfig};

@@ -1,0 +1,371 @@
+//! The cost oracle: legality pruning (static) + simulated execution time.
+//!
+//! Candidates pass through three gates, cheapest first:
+//!
+//! 1. **Static knob legality** — an LS split that crosses the reduction
+//!    axis, a tile width that does not divide the sequence length, a
+//!    sequence length incompatible with a sparse model's block size. These
+//!    are rejected before any schedule is built.
+//! 2. **Static analysis** — the built schedule runs through
+//!    `resoftmax-analyzer`; any `Error`-severity diagnostic prunes the
+//!    candidate.
+//! 3. **Launchability** — the simulator refuses kernels whose thread block
+//!    exceeds the device's SM resources.
+//!
+//! Only candidates clearing all three are priced; the price is the
+//! simulated end-to-end time of the workload's schedule, which is what the
+//! search minimizes.
+
+use crate::TuneError;
+use resoftmax_gpusim::{DeviceSpec, Gpu, ParallelSplit};
+use resoftmax_model::{
+    build_batched_decode_schedule, build_schedule, check_decode_schedule, check_schedule,
+    AttentionKind, ModelConfig, RunParams, Session, SoftmaxStrategy,
+};
+use serde::{Deserialize, Serialize};
+
+/// A workload bucket the tuner optimizes for: one full-sequence inference
+/// iteration, or one continuous-batching engine iteration (the serving
+/// scheduler's fused prefill + batched-decode schedule).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TuneWorkload {
+    /// Full-sequence inference at `seq_len` × `batch`.
+    Prefill {
+        /// Sequence length `L`.
+        seq_len: usize,
+        /// Batch size.
+        batch: usize,
+    },
+    /// One batched decode iteration: one token generated per entry of
+    /// `ctxs`, each row attending a KV cache of that length.
+    Decode {
+        /// Per-row context lengths.
+        ctxs: Vec<usize>,
+    },
+}
+
+impl TuneWorkload {
+    /// Canonicalizes the workload to its cache bucket: every dimension is
+    /// rounded up to the next power of two, so nearby workloads share one
+    /// tuning result. Decode buckets collapse the heterogeneous row mix to
+    /// `rows` uniform rows at the longest (bucketed) context — the
+    /// conservative representative the serving planner tunes against.
+    pub fn bucket(&self) -> TuneWorkload {
+        match self {
+            TuneWorkload::Prefill { seq_len, batch } => TuneWorkload::Prefill {
+                seq_len: seq_len.next_power_of_two(),
+                batch: batch.next_power_of_two(),
+            },
+            TuneWorkload::Decode { ctxs } => {
+                let rows = ctxs.len().next_power_of_two();
+                let max_ctx = ctxs.iter().copied().max().unwrap_or(1).next_power_of_two();
+                TuneWorkload::Decode {
+                    ctxs: vec![max_ctx; rows],
+                }
+            }
+        }
+    }
+
+    /// Stable label for reports and cache keys, e.g. `"prefill/L4096/b1"`
+    /// or `"decode/r8/c1024"`.
+    pub fn label(&self) -> String {
+        match self {
+            TuneWorkload::Prefill { seq_len, batch } => format!("prefill/L{seq_len}/b{batch}"),
+            TuneWorkload::Decode { ctxs } => {
+                let max_ctx = ctxs.iter().copied().max().unwrap_or(0);
+                format!("decode/r{}/c{max_ctx}", ctxs.len())
+            }
+        }
+    }
+}
+
+/// Why a candidate was pruned before (or instead of) being priced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Skip {
+    /// The configuration cannot build a schedule at all (tile divisibility,
+    /// sparse block size, unsupported decode combination, …).
+    InvalidConfig(String),
+    /// The declared LS split crosses the category's reduction axis; the
+    /// analyzer would reject the schedule, so it is never built.
+    IllegalSplit(ParallelSplit),
+    /// The built schedule fails static analysis.
+    Analysis(String),
+    /// A kernel cannot launch on the target device.
+    Launch(String),
+}
+
+impl core::fmt::Display for Skip {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Skip::InvalidConfig(r) => write!(f, "invalid configuration: {r}"),
+            Skip::IllegalSplit(s) => write!(
+                f,
+                "LS split {s:?} crosses the reduction axis (legal: {LEGAL_LS_SPLITS:?})"
+            ),
+            Skip::Analysis(r) => write!(f, "static analysis rejected the schedule: {r}"),
+            Skip::Launch(r) => write!(f, "kernel cannot launch: {r}"),
+        }
+    }
+}
+
+/// The LS splits the analyzer's parallel rule accepts for Local Softmax
+/// kernels (LS reduces within one sub-vector, so rows, segments and tiles
+/// are all disjoint-output splits). Kept in sync with the analyzer by a
+/// test that runs each variant through `resoftmax_analyzer::analyze`.
+pub const LEGAL_LS_SPLITS: [ParallelSplit; 3] = [
+    ParallelSplit::OutputRows,
+    ParallelSplit::RowSegments,
+    ParallelSplit::OutputTiles,
+];
+
+fn check_ls_split(params: &RunParams) -> Result<(), Skip> {
+    match params.ls_split {
+        Some(s) if !LEGAL_LS_SPLITS.contains(&s) => Err(Skip::IllegalSplit(s)),
+        _ => Ok(()),
+    }
+}
+
+/// Statically validates a full-sequence candidate without simulating it:
+/// knob legality, buildability, and a clean analyzer report. This is the
+/// same pruning helper the tuner's search uses; bench bins reuse it to
+/// skip-with-reason instead of panicking on bad grid points.
+pub fn precheck(model: &ModelConfig, params: &RunParams) -> Result<(), Skip> {
+    check_ls_split(params)?;
+    // Session::build performs the dimensional validation (nonzero dims,
+    // sparse block size, tile divisibility) with typed errors.
+    Session::builder()
+        .model(model.clone())
+        .params(params.clone())
+        .build()
+        .map_err(|e| match e {
+            resoftmax_model::Error::InvalidConfig { reason } => Skip::InvalidConfig(reason),
+            other => Skip::InvalidConfig(other.to_string()),
+        })?;
+    let schedule = build_schedule(model, params);
+    let report = check_schedule(model, params, &schedule);
+    if report.has_errors() {
+        return Err(Skip::Analysis(report.render()));
+    }
+    Ok(())
+}
+
+/// [`precheck`] for a batched-decode candidate.
+pub fn precheck_decode(
+    model: &ModelConfig,
+    ctxs: &[usize],
+    params: &RunParams,
+) -> Result<(), Skip> {
+    check_ls_split(params)?;
+    if !matches!(model.attention, AttentionKind::Dense { .. }) {
+        return Err(Skip::InvalidConfig(format!(
+            "decode cost model covers dense attention only; model '{}' is sparse",
+            model.name
+        )));
+    }
+    if params.strategy == SoftmaxStrategy::OnlineFused {
+        return Err(Skip::InvalidConfig(
+            "decode attention is a single row; online fusion is the GEMV itself".to_owned(),
+        ));
+    }
+    if ctxs.is_empty() || ctxs.contains(&0) {
+        return Err(Skip::InvalidConfig(
+            "decode batch must be nonempty with nonzero contexts".to_owned(),
+        ));
+    }
+    if params.tile.n == 0 {
+        return Err(Skip::InvalidConfig("tile width must be nonzero".to_owned()));
+    }
+    let schedule = build_batched_decode_schedule(model, ctxs, params);
+    let report = check_decode_schedule(model, ctxs, params, &schedule);
+    if report.has_errors() {
+        return Err(Skip::Analysis(report.render()));
+    }
+    Ok(())
+}
+
+fn simulate(device: &DeviceSpec, schedule: &[resoftmax_gpusim::KernelDesc]) -> Result<f64, Skip> {
+    let mut gpu = Gpu::new(device.clone());
+    gpu.run(schedule).map_err(|e| Skip::Launch(e.to_string()))?;
+    Ok(gpu.take_timeline().total_time_s())
+}
+
+/// Prices one candidate for one workload: prune through the static gates,
+/// then return the simulated end-to-end time in seconds. Deterministic —
+/// the simulator is exact and single-candidate evaluation is sequential.
+pub fn evaluate(
+    model: &ModelConfig,
+    device: &DeviceSpec,
+    workload: &TuneWorkload,
+    params: &RunParams,
+) -> Result<f64, Skip> {
+    match workload {
+        TuneWorkload::Prefill { seq_len, batch } => {
+            let params = params.clone().batch(*batch);
+            let params = RunParams {
+                seq_len: *seq_len,
+                ..params
+            };
+            precheck(model, &params)?;
+            simulate(device, &build_schedule(model, &params))
+        }
+        TuneWorkload::Decode { ctxs } => {
+            precheck_decode(model, ctxs, params)?;
+            simulate(device, &build_batched_decode_schedule(model, ctxs, params))
+        }
+    }
+}
+
+/// The default (untuned) parameters for a workload bucket — the reference
+/// configuration every tuning result is compared against.
+pub fn default_params(workload: &TuneWorkload) -> RunParams {
+    match workload {
+        TuneWorkload::Prefill { seq_len, batch } => RunParams {
+            seq_len: *seq_len,
+            batch: *batch,
+            ..RunParams::default()
+        },
+        TuneWorkload::Decode { ctxs } => RunParams {
+            seq_len: ctxs.iter().copied().max().unwrap_or(1),
+            ..RunParams::default()
+        },
+    }
+}
+
+/// Errors the search layer surfaces when even the reference point fails.
+pub(crate) fn default_unrunnable(workload: &TuneWorkload, skip: &Skip) -> TuneError {
+    TuneError::DefaultUnrunnable {
+        workload: workload.label(),
+        reason: skip.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resoftmax_gpusim::KernelCategory;
+    use resoftmax_kernels::costs::TileConfig;
+
+    #[test]
+    fn buckets_round_up_to_powers_of_two() {
+        let w = TuneWorkload::Prefill {
+            seq_len: 1000,
+            batch: 3,
+        };
+        assert_eq!(
+            w.bucket(),
+            TuneWorkload::Prefill {
+                seq_len: 1024,
+                batch: 4
+            }
+        );
+        let d = TuneWorkload::Decode {
+            ctxs: vec![260, 1000, 90],
+        };
+        assert_eq!(
+            d.bucket(),
+            TuneWorkload::Decode {
+                ctxs: vec![1024; 4]
+            }
+        );
+        // Buckets are fixed points.
+        assert_eq!(w.bucket().bucket(), w.bucket());
+        assert_eq!(d.bucket().bucket(), d.bucket());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            TuneWorkload::Prefill {
+                seq_len: 4096,
+                batch: 2
+            }
+            .label(),
+            "prefill/L4096/b2"
+        );
+        assert_eq!(
+            TuneWorkload::Decode {
+                ctxs: vec![512, 1024]
+            }
+            .label(),
+            "decode/r2/c1024"
+        );
+    }
+
+    /// `LEGAL_LS_SPLITS` must agree with the analyzer's parallel rule: a
+    /// dense SD schedule with each declared split either passes or fails
+    /// `check_schedule` exactly as the constant predicts.
+    #[test]
+    #[cfg_attr(miri, ignore = "builds full schedules; covered by native runs")]
+    fn legal_splits_agree_with_analyzer() {
+        use resoftmax_model::SoftmaxStrategy;
+        let model = ModelConfig::bert_base();
+        for split in [
+            ParallelSplit::OutputRows,
+            ParallelSplit::RowSegments,
+            ParallelSplit::OutputTiles,
+            ParallelSplit::ReductionAxis,
+        ] {
+            let params = RunParams::new(512)
+                .strategy(SoftmaxStrategy::Decomposed)
+                .ls_split(Some(split));
+            let expect_legal = LEGAL_LS_SPLITS.contains(&split);
+            if !expect_legal {
+                // precheck must reject statically, before a schedule (whose
+                // debug assertion would fire) is ever built.
+                assert_eq!(
+                    precheck(&model, &params),
+                    Err(Skip::IllegalSplit(split)),
+                    "{split:?}"
+                );
+                continue;
+            }
+            assert_eq!(precheck(&model, &params), Ok(()), "{split:?}");
+            // And the built schedule carries the override.
+            let schedule = resoftmax_model::build_schedule(&model, &params);
+            assert!(schedule
+                .iter()
+                .filter(|k| k.category == KernelCategory::LocalSoftmax)
+                .all(|k| k.meta.split == Some(split)));
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "builds full schedules; covered by native runs")]
+    fn precheck_rejects_with_reasons() {
+        let model = ModelConfig::bert_large();
+        // Tile width not dividing L.
+        let bad_tile = RunParams::new(1000).tile(TileConfig::new(64, 48));
+        let e = precheck(&model, &bad_tile).unwrap_err();
+        assert!(matches!(e, Skip::InvalidConfig(_)), "{e}");
+        // Sparse model + decode workload.
+        let e = precheck_decode(&ModelConfig::bigbird_large(), &[512], &RunParams::new(512))
+            .unwrap_err();
+        assert!(e.to_string().contains("dense"), "{e}");
+        // Online fusion has no decode form.
+        let e = precheck_decode(
+            &ModelConfig::gpt_neo_1_3b(),
+            &[512],
+            &RunParams::new(512).strategy(SoftmaxStrategy::OnlineFused),
+        )
+        .unwrap_err();
+        assert!(matches!(e, Skip::InvalidConfig(_)), "{e}");
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+    fn evaluate_prices_legal_candidates() {
+        let model = ModelConfig::bert_base();
+        let device = DeviceSpec::a100();
+        let w = TuneWorkload::Prefill {
+            seq_len: 512,
+            batch: 1,
+        };
+        let base = default_params(&w);
+        let t = evaluate(&model, &device, &w, &base).unwrap();
+        assert!(t > 0.0);
+        // Recomposed at the same point must also price, and differ.
+        let sdf = base.clone().strategy(SoftmaxStrategy::Recomposed);
+        let t2 = evaluate(&model, &device, &w, &sdf).unwrap();
+        assert!(t2 > 0.0 && t2 != t);
+    }
+}

@@ -1,0 +1,103 @@
+//! Serving integration: a [`resoftmax_serve::IterationPlanner`] that prices
+//! every continuous-batching engine iteration with its tuned schedule.
+//!
+//! Each engine iteration fuses chunked-prefill rows with batched-decode
+//! rows; the planner canonicalizes the iteration's row mix to its
+//! power-of-two decode bucket, tunes that bucket (answered from the cache
+//! after the first occurrence), and transfers the winning knobs onto the
+//! base parameters. A serving run touches only a handful of buckets, so the
+//! searches amortize to near-zero after warmup — and with a persisted
+//! [`Tuner`], across processes.
+//!
+//! Fallback rules mirror [`crate::SessionTuneExt`]: if tuning fails or the
+//! tuned knobs are not decode-legal for the *exact* row mix, the iteration
+//! is priced with the base parameters (counted on `tune.fallbacks`). The
+//! planner is deterministic in `ctxs` and the tuner's configuration, as the
+//! serve engine requires.
+
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::{ModelConfig, RunParams};
+use resoftmax_serve::IterationPlanner;
+
+use crate::oracle::{precheck_decode, TuneWorkload};
+use crate::session_ext::apply_knobs;
+use crate::tuner::Tuner;
+
+/// Prices serving iterations with tuned schedules. Construct with
+/// [`TunedPlanner::new`] and pass to [`resoftmax_serve::run_serve_with`].
+pub struct TunedPlanner<'a> {
+    tuner: &'a Tuner,
+    model: &'a ModelConfig,
+    device: &'a DeviceSpec,
+}
+
+impl<'a> TunedPlanner<'a> {
+    /// A planner tuning iterations of `model` on `device` through `tuner`.
+    pub fn new(tuner: &'a Tuner, model: &'a ModelConfig, device: &'a DeviceSpec) -> Self {
+        TunedPlanner {
+            tuner,
+            model,
+            device,
+        }
+    }
+}
+
+impl IterationPlanner for TunedPlanner<'_> {
+    fn plan(&self, ctxs: &[usize], base: &RunParams) -> RunParams {
+        let workload = TuneWorkload::Decode {
+            ctxs: ctxs.to_vec(),
+        };
+        let Ok(tuned) = self.tuner.tune(self.model, self.device, &workload) else {
+            resoftmax_obs::counter("tune.fallbacks").incr();
+            return base.clone();
+        };
+        let candidate = apply_knobs(base, &tuned.params);
+        if precheck_decode(self.model, ctxs, &candidate).is_ok() {
+            candidate
+        } else {
+            resoftmax_obs::counter("tune.fallbacks").incr();
+            base.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchMode;
+    use crate::space::SearchSpace;
+    use resoftmax_serve::{run_serve, run_serve_with, ServeConfig};
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            requests: 4,
+            arrival_rate_hz: 64.0,
+            prompt_tokens: (64, 128),
+            decode_tokens: (4, 8),
+            max_batch: 4,
+            prefill_chunk: 64,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+    fn tuned_serving_completes_no_slower_than_baseline() {
+        let model = ModelConfig::gpt_neo_1_3b();
+        let device = DeviceSpec::a100();
+        let params = RunParams::new(4096);
+        let tuner = Tuner::new(SearchSpace::smoke(), SearchMode::Exhaustive);
+        let planner = TunedPlanner::new(&tuner, &model, &device);
+
+        let baseline = run_serve(&model, &device, &params, &cfg()).unwrap();
+        let tuned = run_serve_with(&model, &device, &params, &cfg(), &planner).unwrap();
+        assert_eq!(tuned.completed, cfg().requests);
+        assert!(tuned.sim_time_s <= baseline.sim_time_s);
+        // The run touches few buckets; repeats must hit the cache.
+        assert!(tuner.entries() >= 1);
+        let hits = resoftmax_obs::counter("tune.cache_hits").get();
+        let rerun = run_serve_with(&model, &device, &params, &cfg(), &planner).unwrap();
+        assert_eq!(rerun, tuned);
+        assert!(resoftmax_obs::counter("tune.cache_hits").get() > hits);
+    }
+}

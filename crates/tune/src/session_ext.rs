@@ -1,0 +1,153 @@
+//! Session integration: extension traits that retune an existing
+//! [`Session`] or build one directly from a [`Tuner`].
+//!
+//! `resoftmax-model` cannot depend on this crate (the tuner sits above the
+//! model layer), so the integration is a pair of extension traits: bring
+//! [`SessionTuneExt`] / [`SessionBuilderTuneExt`] into scope and every
+//! session grows a `.tuned(..)`.
+//!
+//! Only the schedule *knobs* transfer from the tuning result — strategy,
+//! tile, and LS split; the session keeps its own workload dimensions and
+//! library profile. Because the tuner optimizes the workload's power-of-two
+//! *bucket*, a tuned knob can be illegal for the exact workload (a tile
+//! width that divides the bucket but not the real sequence length). Those
+//! cases fall back to the session's original parameters and are counted on
+//! `tune.fallbacks` — tuning never turns a runnable session into a broken
+//! one.
+
+use resoftmax_model::{RunParams, Session, SessionBuilder};
+
+use crate::oracle::{precheck, TuneWorkload};
+use crate::tuner::{TuneError, Tuner};
+
+/// Copies the tuned schedule knobs onto `base`, keeping its workload
+/// dimensions and profile.
+pub(crate) fn apply_knobs(base: &RunParams, tuned: &RunParams) -> RunParams {
+    base.clone()
+        .strategy(tuned.strategy)
+        .tile(tuned.tile)
+        .ls_split(tuned.ls_split)
+}
+
+/// Adds [`tuned`](SessionTuneExt::tuned) to [`Session`].
+pub trait SessionTuneExt {
+    /// Returns a new session with this session's model, device, and
+    /// workload, reconfigured with tuned schedule knobs. Falls back to the
+    /// original parameters (counted on `tune.fallbacks`) when the tuned
+    /// knobs do not transfer to the exact workload.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError::DefaultUnrunnable`] when even the default configuration
+    /// fails tuning's legality gates; [`TuneError::Model`] if the rebuilt
+    /// session fails validation (not expected after a clean precheck).
+    fn tuned(&self, tuner: &Tuner) -> Result<Session, TuneError>;
+}
+
+impl SessionTuneExt for Session {
+    fn tuned(&self, tuner: &Tuner) -> Result<Session, TuneError> {
+        let workload = TuneWorkload::Prefill {
+            seq_len: self.params().seq_len,
+            batch: self.params().batch,
+        };
+        let result = tuner.tune(self.model(), self.device(), &workload)?;
+        let candidate = apply_knobs(self.params(), &result.params);
+        let params = if precheck(self.model(), &candidate).is_ok() {
+            candidate
+        } else {
+            resoftmax_obs::counter("tune.fallbacks").incr();
+            self.params().clone()
+        };
+        Ok(Session::builder()
+            .model(self.model().clone())
+            .device(self.device().clone())
+            .params(params)
+            .build()?)
+    }
+}
+
+/// Adds [`tuned`](SessionBuilderTuneExt::tuned) to [`SessionBuilder`].
+pub trait SessionBuilderTuneExt {
+    /// Like [`SessionBuilder::build`], then retunes the resulting session
+    /// through `tuner` — `Session::builder()...tuned(&tuner)?` is the
+    /// one-line way to get a tuned session.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError::Model`] if the builder itself fails validation, plus
+    /// everything [`SessionTuneExt::tuned`] can return.
+    fn tuned(self, tuner: &Tuner) -> Result<Session, TuneError>;
+}
+
+impl SessionBuilderTuneExt for SessionBuilder {
+    fn tuned(self, tuner: &Tuner) -> Result<Session, TuneError> {
+        self.build()?.tuned(tuner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchMode;
+    use crate::space::SearchSpace;
+    use resoftmax_gpusim::DeviceSpec;
+    use resoftmax_model::ModelConfig;
+
+    #[test]
+    #[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+    fn tuned_session_is_no_slower() {
+        let tuner = Tuner::new(SearchSpace::smoke(), SearchMode::Exhaustive);
+        let session = Session::builder()
+            .model(ModelConfig::bert_base())
+            .device(DeviceSpec::a100())
+            .params(RunParams::new(512))
+            .build()
+            .unwrap();
+        let baseline = session.run().unwrap().total_time_s();
+        let tuned = session.tuned(&tuner).unwrap();
+        assert!(tuned.run().unwrap().total_time_s() <= baseline);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+    fn builder_tuned_matches_session_tuned() {
+        let tuner = Tuner::new(SearchSpace::smoke(), SearchMode::Exhaustive);
+        let a = Session::builder()
+            .model(ModelConfig::bert_base())
+            .params(RunParams::new(512))
+            .tuned(&tuner)
+            .unwrap();
+        let b = Session::builder()
+            .model(ModelConfig::bert_base())
+            .params(RunParams::new(512))
+            .build()
+            .unwrap()
+            .tuned(&tuner)
+            .unwrap();
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+    fn illegal_transfer_falls_back() {
+        // seq_len 96 buckets to 128. With the space pinned to 64-wide tiles,
+        // every tuning winner divides the bucket (64 | 128) but not the real
+        // sequence (64 ∤ 96) — the knob transfer must fall back to the
+        // session's own parameters instead of producing a broken session.
+        let space = SearchSpace {
+            tile_ns: vec![64],
+            ..SearchSpace::smoke()
+        };
+        let tuner = Tuner::new(space, SearchMode::Exhaustive);
+        let session = Session::builder()
+            .model(ModelConfig::bert_base())
+            .params(RunParams::new(96).tile(resoftmax_kernels::costs::TileConfig::new(64, 32)))
+            .build()
+            .unwrap();
+        let before = resoftmax_obs::counter("tune.fallbacks").get();
+        let tuned = session.tuned(&tuner).unwrap();
+        assert!(resoftmax_obs::counter("tune.fallbacks").get() > before);
+        assert_eq!(tuned.params(), session.params());
+        tuned.run().unwrap();
+    }
+}

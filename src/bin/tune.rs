@@ -1,0 +1,9 @@
+//! Schedule autotuner driver: `cargo run --release --bin tune -- [--smoke]`.
+//!
+//! Thin wrapper so the tuner is reachable from the workspace root package;
+//! the logic (workload grid, determinism gate, cache handling, report) lives
+//! in [`resoftmax_bench::tune_main`].
+
+fn main() {
+    resoftmax_bench::tune_main();
+}
