@@ -61,6 +61,15 @@ pub enum Rule {
     /// real launches round up to whole warps, so a fractional-warp figure
     /// skews the occupancy model.
     ShapeWarpAlignment,
+    /// The schedule's certified worst-case numeric error exceeds the budget
+    /// the equivalence harness verifies against.
+    NumericsTolerance,
+    /// A structurally unsound accumulator-format choice: binary16
+    /// accumulation with no downstream rescaling stage to renormalize it.
+    NumericsAccumulation,
+    /// Accumulating kernels without a declared accumulator format were
+    /// assumed fp32 by the numerics pass.
+    NumericsAssumedFormat,
 }
 
 impl Rule {
@@ -78,6 +87,9 @@ impl Rule {
             Rule::TrafficAttribution => "traffic/attribution",
             Rule::ParallelSplitReduction => "parallel/split-reduction",
             Rule::ShapeWarpAlignment => "shape/warp-alignment",
+            Rule::NumericsTolerance => "numerics/tolerance",
+            Rule::NumericsAccumulation => "numerics/accumulation",
+            Rule::NumericsAssumedFormat => "numerics/assumed-format",
         }
     }
 }

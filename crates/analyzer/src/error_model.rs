@@ -1,0 +1,240 @@
+//! First-order floating-point error model for the softmax pipelines the
+//! schedules implement.
+//!
+//! The model answers one question: *if every kernel of a schedule rounds
+//! where its metadata says it rounds, how far can the attention
+//! probabilities it produces drift from the exact softmax of the same
+//! binary16 inputs?* The answer is a worst-case **relative** bound per
+//! output element, from which a row-sum bound and an ulp bound follow.
+//!
+//! # Setting
+//!
+//! Inter-kernel storage is always binary16 (the paper's setting); what a
+//! schedule chooses is the *in-register accumulator* format of each
+//! reduction ([`AccumFormat`]). One storage rounding contributes a factor
+//! `(1 + δ)` with `|δ| ≤ u_s = 2⁻¹¹`; one accumulation step in format `F`
+//! contributes `|δ| ≤ u_F` ([`AccumFormat::unit_roundoff`]). The runtime's
+//! bit-exactness contract fixes the accumulation order to be *sequential*
+//! (see `ParallelSplit`: reductions are never split), so a length-`n` sum
+//! costs `(n − 1)` accumulation roundings — deliberately not the `log n` of
+//! a tree reduction, because that is not what the kernels do.
+//!
+//! # Per-operation assumptions
+//!
+//! * **Max subtraction** is exact: the max of binary16 values is one of
+//!   them, and `x − m` with both operands binary16 introduces no error
+//!   before `exp` (Sterbenz-style cancellation only sharpens this).
+//! * **`exp`** is correctly rounded to the working precision: one storage
+//!   rounding per evaluated element. Its *argument* is exact (previous
+//!   point), so no condition-number amplification applies.
+//! * **Division / multiplication** cost one rounding each.
+//! * **First-order arithmetic**: products of `(1 + δᵢ)` factors are summed
+//!   to a first-order budget `fo = Σ|δᵢ|ᵐᵃˣ`, then closed rigorously with
+//!   `rel = fo / (1 − min(fo, ½))`, which dominates the standard
+//!   `γ_n = n·u/(1 − n·u)` correction, stays finite, and is monotone in
+//!   `fo`.
+//!
+//! # Pipelines
+//!
+//! * [`monolithic`] — one pass: exp store, a length-`ctx` sum, one divide.
+//! * [`decomposed`] — the paper's LS → IR → GS recomposition: per
+//!   sub-vector sums of length `min(T, ctx)` in the LS accumulator format,
+//!   a length-`⌈ctx/T⌉` global sum in the IR accumulator format, plus the
+//!   stores of `x'`, `d'`, `r'` and the GS multiply. The division of `x'`
+//!   by the local sum and the multiplication of `r'` by the *same stored
+//!   sum* cancel to first order, which is why the constant term is 8
+//!   storage roundings and not the naive 13.
+//! * [`online`] — the online-softmax fusion: the same length-`ctx` sum plus
+//!   a max-update/rescale (one multiply, one running-sum fold, one exp
+//!   correction) per tile boundary.
+
+use resoftmax_gpusim::AccumFormat;
+use serde::{Deserialize, Serialize};
+
+/// Unit roundoff of one binary16 *storage* rounding: `2⁻¹¹`.
+pub const U16: f64 = 4.882_812_5e-4;
+
+/// Unit roundoff of one binary32 accumulation step: `2⁻²⁴`.
+pub const U32: f64 = 5.960_464_477_539_063e-8;
+
+/// The certification budget: a schedule whose certified relative bound
+/// exceeds this is rejected by the `numerics/tolerance` rule.
+///
+/// Chosen to equal the loosest tolerance the equivalence harness
+/// (`resoftmax-core::verify`) has ever accepted for binary16 pipelines
+/// (the 2 × 10⁻² row-sum budget), so "certifies" implies "passes verify".
+pub const CERT_BUDGET_REL: f64 = 2e-2;
+
+/// A certified worst-case error bound for one softmax pipeline.
+///
+/// All three tolerances describe the same bound in different currencies:
+/// `rel` per element, `row_sum` for `|Σŷ − 1|` (equal to `rel` because
+/// `Σ rel·yᵢ = rel` when `Σyᵢ = 1`), and `ulps` in binary16 ulp distance
+/// (`⌈rel·2¹¹⌉ + 1`, the extra ulp covering the comparison oracle's own
+/// final rounding).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBound {
+    /// Worst-case relative error of any output element.
+    pub rel: f64,
+    /// Worst-case deviation of a probability row's sum from 1.
+    pub row_sum: f64,
+    /// Worst-case binary16 ulp distance of any output element.
+    pub ulps: u32,
+    /// Context length the bound was evaluated at.
+    pub ctx: usize,
+    /// Sub-vector length `T` (equals `ctx` for monolithic pipelines).
+    pub t: usize,
+    /// Sub-vector count `⌈ctx / T⌉`.
+    pub n_sv: usize,
+}
+
+impl ErrorBound {
+    /// `true` when this bound implies the given relative budget.
+    pub fn certifies(&self, budget: f64) -> bool {
+        self.rel.is_finite() && self.rel <= budget
+    }
+
+    /// Closes a first-order budget `fo` into a rigorous bound.
+    fn close(fo: f64, ctx: usize, t: usize, n_sv: usize) -> Self {
+        let fo = fo.max(0.0);
+        let rel = fo / (1.0 - fo.min(0.5));
+        let ulps = if rel.is_finite() {
+            (rel * 2048.0).ceil().min(f64::from(u32::MAX - 1)) as u32 + 1
+        } else {
+            u32::MAX
+        };
+        ErrorBound {
+            rel,
+            row_sum: rel,
+            ulps,
+            ctx,
+            t,
+            n_sv,
+        }
+    }
+}
+
+/// Bound for the monolithic (baseline) softmax over a length-`ctx` row:
+/// one exp store, a sequential length-`ctx` sum in `accum`, one divide,
+/// one output store.
+pub fn monolithic(ctx: usize, accum: AccumFormat) -> ErrorBound {
+    let fo = 3.0 * U16 + (ctx.saturating_sub(1) as f64) * accum.unit_roundoff();
+    ErrorBound::close(fo, ctx, ctx.max(1), 1)
+}
+
+/// Bound for the decomposed / recomposed pipeline (LS → IR → GS) with
+/// sub-vector length `t`: per-sub-vector sums of length `min(t, ctx)` in
+/// `ls_accum`, a global length-`⌈ctx/t⌉` sum in `ir_accum`, 8 storage
+/// roundings (exp, `x'`, `d'`, the IR exp and rescale pair, `r'`, the GS
+/// multiply and output store — the `x'/d̂'` divide and `r'·d̂'` multiply
+/// sharing the *same stored* `d̂'` cancel to first order).
+pub fn decomposed(
+    ctx: usize,
+    t: usize,
+    ls_accum: AccumFormat,
+    ir_accum: AccumFormat,
+) -> ErrorBound {
+    let t = t.max(1);
+    let n_sv = ctx.div_ceil(t).max(1);
+    let ls_len = t.min(ctx.max(1));
+    let fo = 8.0 * U16
+        + (ls_len.saturating_sub(1) as f64) * ls_accum.unit_roundoff()
+        + ((n_sv - 1) as f64) * ir_accum.unit_roundoff();
+    ErrorBound::close(fo, ctx, t, n_sv)
+}
+
+/// Bound for the online-softmax fusion with tile width `t`: the monolithic
+/// roundings plus, per tile boundary, a max-update rescale (one exp
+/// correction, one multiply, one running-sum fold) in `accum`.
+pub fn online(ctx: usize, t: usize, accum: AccumFormat) -> ErrorBound {
+    let t = t.max(1);
+    let n_sv = ctx.div_ceil(t).max(1);
+    let steps = ctx.saturating_sub(1) as f64 + 3.0 * (n_sv - 1) as f64;
+    let fo = 3.0 * U16 + steps * accum.unit_roundoff();
+    ErrorBound::close(fo, ctx, t, n_sv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_are_powers_of_two() {
+        assert_eq!(U16, (2.0f64).powi(-11));
+        assert_eq!(U32, (2.0f64).powi(-24));
+        assert_eq!(AccumFormat::Fp16.unit_roundoff(), U16);
+        assert_eq!(AccumFormat::Fp32.unit_roundoff(), U32);
+    }
+
+    #[test]
+    fn fp32_paper_points_certify() {
+        // The grid's worst cases stay well inside the budget.
+        for &(ctx, t) in &[(256usize, 64usize), (8192, 16), (8192, 256)] {
+            let b = decomposed(ctx, t, AccumFormat::Fp32, AccumFormat::Fp32);
+            assert!(b.certifies(CERT_BUDGET_REL), "decomposed {ctx}/{t}: {b:?}");
+        }
+        assert!(monolithic(8192, AccumFormat::Fp32).certifies(CERT_BUDGET_REL));
+        assert!(online(8192, 64, AccumFormat::Fp32).certifies(CERT_BUDGET_REL));
+    }
+
+    #[test]
+    fn fp16_ls_accumulation_certifies_only_at_small_t() {
+        let ok = decomposed(8192, 16, AccumFormat::Fp16, AccumFormat::Fp32);
+        assert!(ok.certifies(CERT_BUDGET_REL), "{ok:?}");
+        let edge = decomposed(8192, 32, AccumFormat::Fp16, AccumFormat::Fp32);
+        assert!(edge.certifies(CERT_BUDGET_REL), "{edge:?}");
+        let bad = decomposed(8192, 64, AccumFormat::Fp16, AccumFormat::Fp32);
+        assert!(!bad.certifies(CERT_BUDGET_REL), "{bad:?}");
+    }
+
+    #[test]
+    fn fp16_monolithic_blows_up_without_rescale() {
+        // The "corrupted" configuration the numerics rule must reject: a
+        // long monolithic fp16 accumulation with no intermediate rescale.
+        let b = monolithic(512, AccumFormat::Fp16);
+        assert!(!b.certifies(CERT_BUDGET_REL), "{b:?}");
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_ctx() {
+        for ctx in 1..512usize {
+            for &(a, b) in &[
+                (
+                    monolithic(ctx, AccumFormat::Fp32),
+                    monolithic(ctx + 1, AccumFormat::Fp32),
+                ),
+                (
+                    decomposed(ctx, 64, AccumFormat::Fp32, AccumFormat::Fp32),
+                    decomposed(ctx + 1, 64, AccumFormat::Fp32, AccumFormat::Fp32),
+                ),
+                (
+                    online(ctx, 64, AccumFormat::Fp32),
+                    online(ctx + 1, 64, AccumFormat::Fp32),
+                ),
+            ] {
+                assert!(a.rel <= b.rel, "ctx {ctx}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_finite() {
+        for b in [
+            monolithic(0, AccumFormat::Fp16),
+            decomposed(0, 0, AccumFormat::Fp16, AccumFormat::Fp16),
+            online(0, 0, AccumFormat::Fp16),
+            decomposed(usize::MAX, 1, AccumFormat::Fp16, AccumFormat::Fp16),
+        ] {
+            assert!(b.rel >= 0.0);
+            assert!(b.rel.is_finite());
+            assert!(b.n_sv >= 1);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let b = decomposed(4096, 64, AccumFormat::Fp32, AccumFormat::Fp32);
+        let json = serde_json::to_string(&b).unwrap();
+        assert_eq!(serde_json::from_str::<ErrorBound>(&json).unwrap(), b);
+    }
+}

@@ -11,7 +11,7 @@
 //! from the formula its category implies.
 //!
 //! This crate checks those invariants *statically* — no simulation — in
-//! three rule families:
+//! five rule families:
 //!
 //! * **Fusion legality** ([`fusion`], [`fsm`]): the LS sub-vector length `T`
 //!   must equal the `Q·Kᵀ` MatMul output-tile width; Global Scaling must be
@@ -31,6 +31,12 @@
 //!   [`ParallelSplit`](resoftmax_gpusim::ParallelSplit) must not cross the
 //!   reduction axis its category implies, or results would depend on the
 //!   degree of parallelism.
+//! * **Numerics** ([`numerics`], [`error_model`]): abstract interpretation
+//!   of the softmax kernel sequence — max-subtraction, `exp`, LS partial
+//!   sums, IR rescaling, GS renormalization — into a certified worst-case
+//!   error bound, parameterized by each kernel's declared accumulator
+//!   format, the tile width `T`, and the context length. The bound must
+//!   imply the equivalence harness's verify tolerance.
 //!
 //! The entry point is [`analyze`]; inputs are the schedule plus a
 //! [`ScheduleSpec`] describing the run (dimensions, strategy, library
@@ -44,20 +50,23 @@
 
 pub mod dataflow;
 pub mod diagnostic;
+pub mod error_model;
 pub mod fsm;
 pub mod fusion;
+pub mod numerics;
 pub mod parallel;
 pub mod report;
 pub mod spec;
 pub mod traffic;
 
 pub use diagnostic::{Diagnostic, Rule, Severity};
+pub use error_model::{ErrorBound, CERT_BUDGET_REL};
 pub use report::Report;
 pub use spec::{DecodeSpec, ScheduleSpec, SparseSpec, StrategyKind};
 
 use resoftmax_gpusim::KernelDesc;
 
-/// Runs all three rule families over a schedule.
+/// Runs all five rule families over a schedule.
 ///
 /// Diagnostics are returned sorted by severity (errors first), then by
 /// kernel index. An empty vector means the schedule passed every check.
@@ -69,6 +78,7 @@ pub fn analyze(spec: &ScheduleSpec, kernels: &[KernelDesc]) -> Vec<Diagnostic> {
     dataflow::check(spec, kernels, &mut diags);
     traffic::check(spec, kernels, &mut diags);
     parallel::check(kernels, &mut diags);
+    numerics::check(spec, kernels, &mut diags);
     diags.sort_by_key(|d| {
         (
             std::cmp::Reverse(d.severity),
@@ -76,6 +86,14 @@ pub fn analyze(spec: &ScheduleSpec, kernels: &[KernelDesc]) -> Vec<Diagnostic> {
         )
     });
     diags
+}
+
+/// Runs [`analyze`] and attaches the certified numeric bound to the report
+/// — the form the model layer's `check_schedule`/`check_decode_schedule`
+/// return.
+pub fn analyze_certified(spec: &ScheduleSpec, kernels: &[KernelDesc]) -> Report {
+    let diags = analyze(spec, kernels);
+    Report::new(diags).with_bound(numerics::certified_bound(spec, kernels))
 }
 
 #[cfg(test)]

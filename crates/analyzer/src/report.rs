@@ -1,7 +1,9 @@
 //! Aggregated analysis results for CLI / CI consumption.
 
 use crate::diagnostic::{Diagnostic, Severity};
+use crate::error_model::ErrorBound;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// The outcome of analyzing one schedule: the diagnostics plus severity
 /// tallies, renderable as the `analyze` binary's text output.
@@ -9,12 +11,25 @@ use serde::{Deserialize, Serialize};
 pub struct Report {
     /// All findings, errors first.
     pub diagnostics: Vec<Diagnostic>,
+    /// The certified worst-case numeric error, when the numerics pass
+    /// applies to the schedule (dense, at least one softmax-family kernel).
+    pub error_bound: Option<ErrorBound>,
 }
 
 impl Report {
     /// Wraps the output of [`crate::analyze`].
     pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
-        Report { diagnostics }
+        Report {
+            diagnostics,
+            error_bound: None,
+        }
+    }
+
+    /// Attaches the certified numeric bound (see [`crate::analyze_certified`]).
+    #[must_use]
+    pub fn with_bound(mut self, bound: Option<ErrorBound>) -> Self {
+        self.error_bound = bound;
+        self
     }
 
     /// Number of findings at exactly `severity`.
@@ -32,7 +47,8 @@ impl Report {
             .any(|d| d.severity == Severity::Error)
     }
 
-    /// Multi-line rendering: one line per diagnostic, then a tally.
+    /// Multi-line rendering: one line per diagnostic, then a tally (with
+    /// the certified numeric bound when one was computed).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
@@ -40,6 +56,14 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&self.summary());
+        if let Some(b) = &self.error_bound {
+            write!(
+                out,
+                "\ncertified numeric bound: rel ≤ {:.3e} (ctx {}, T {}, {} sub-vectors)",
+                b.rel, b.ctx, b.t, b.n_sv
+            )
+            .expect("write to String");
+        }
         out
     }
 
@@ -82,5 +106,17 @@ mod tests {
         let clean = Report::new(vec![]);
         assert!(!clean.has_errors());
         assert_eq!(clean.summary(), "clean");
+    }
+
+    #[test]
+    fn bound_renders_and_round_trips() {
+        use resoftmax_gpusim::AccumFormat;
+        let b = crate::error_model::decomposed(4096, 64, AccumFormat::Fp32, AccumFormat::Fp32);
+        let r = Report::new(vec![]).with_bound(Some(b));
+        assert!(r.render().contains("certified numeric bound"));
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<Report>(&json).unwrap(), r);
+        // A bound-less report renders without the bound line.
+        assert!(!Report::new(vec![]).render().contains("certified"));
     }
 }

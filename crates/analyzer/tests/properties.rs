@@ -11,7 +11,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use resoftmax_analyzer::{analyze, ScheduleSpec, SparseSpec, StrategyKind};
 use resoftmax_gpusim::{
-    BufferUse, KernelCategory, KernelDesc, KernelMeta, ParallelSplit, TbSet, TbShape, TbWork,
+    AccumFormat, BufferUse, KernelCategory, KernelDesc, KernelMeta, ParallelSplit, TbSet, TbShape,
+    TbWork,
 };
 
 const CATEGORIES: [KernelCategory; 14] = [
@@ -69,13 +70,21 @@ fn any_split() -> impl Strategy<Value = Option<ParallelSplit>> {
     ]
 }
 
+fn any_accum() -> impl Strategy<Value = Option<AccumFormat>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(AccumFormat::Fp32)),
+        Just(Some(AccumFormat::Fp16)),
+    ]
+}
+
 fn any_meta() -> impl Strategy<Value = KernelMeta> {
     (
         (any_dim(), any_dim(), any_dim(), any_dim(), any_dim()),
         (any_dim(), any_dim(), any_dim()),
         (0u64..=64, 0u64..=1_000_000, 0usize..=4),
         (any::<bool>(), any::<bool>(), any::<bool>(), any_dim()),
-        any_split(),
+        (any_split(), any_accum()),
     )
         .prop_map(
             |(
@@ -83,7 +92,7 @@ fn any_meta() -> impl Strategy<Value = KernelMeta> {
                 (d_head, d_in, d_out),
                 (instances, elems, input_streams),
                 (fused_scale_mask, fused_ls, fused_gs, sparse_block),
-                split,
+                (split, accum),
             )| KernelMeta {
                 tile_m,
                 tile_n,
@@ -101,6 +110,7 @@ fn any_meta() -> impl Strategy<Value = KernelMeta> {
                 fused_gs,
                 sparse_block,
                 split,
+                accum,
             },
         )
 }

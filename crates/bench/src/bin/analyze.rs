@@ -1,10 +1,10 @@
 //! Statically analyzes every schedule the evaluation suite builds —
-//! fusion legality, buffer dataflow, traffic conservation — and exits
-//! nonzero if any schedule has an error-severity finding. The CI gate for
-//! the schedule generator.
+//! fusion legality, buffer dataflow, traffic conservation, numeric
+//! certification — and exits nonzero if any schedule has an error-severity
+//! finding. The CI gate for the schedule generator.
 //!
 //! ```text
-//! cargo run --release -p resoftmax-bench --bin analyze [-- --trace out.json]
+//! cargo run --release -p resoftmax-bench --bin analyze [-- --numerics] [-- --trace out.json]
 //! ```
 //!
 //! The grid mirrors `reproduce_all` (see [`resoftmax_bench::analysis_grid`]).
@@ -12,13 +12,18 @@
 //! buffered per combo and printed in grid order, so the output is
 //! byte-identical at any thread count.
 //!
+//! `--numerics` additionally summarizes the certified error bounds across
+//! the grid (min / median / max relative bound, schedules without a dense
+//! certificate) and exits nonzero if any certificate exceeds the
+//! certification budget — the CI gate for the error model.
+//!
 //! `--trace [out.json]` force-enables observability for this process (the
 //! equivalent of `RESOFTMAX_TRACE=1 RESOFTMAX_METRICS=1`) and writes the
 //! merged chrome-trace of the sweep on exit.
 
 use std::fmt::Write as _;
 
-use resoftmax_analyzer::Severity;
+use resoftmax_analyzer::{Severity, CERT_BUDGET_REL};
 use resoftmax_bench::analysis_grid;
 use resoftmax_model::{build_schedule, check_schedule, ModelConfig, RunParams};
 
@@ -26,6 +31,9 @@ struct ComboResult {
     kernels: usize,
     errors: usize,
     warnings: usize,
+    /// Certified relative error bound, when the schedule has a dense
+    /// softmax pipeline to certify (`None` for native block-sparse paths).
+    bound_rel: Option<f64>,
     output: String,
 }
 
@@ -34,6 +42,7 @@ fn analyze_one(model: &ModelConfig, params: &RunParams) -> ComboResult {
     let report = check_schedule(model, params, &kernels);
     let errors = report.count(Severity::Error);
     let warnings = report.count(Severity::Warning);
+    let bound_rel = report.error_bound.map(|b| b.rel);
     let mut output = String::new();
     if errors + warnings > 0 {
         writeln!(
@@ -57,12 +66,38 @@ fn analyze_one(model: &ModelConfig, params: &RunParams) -> ComboResult {
         kernels: kernels.len(),
         errors,
         warnings,
+        bound_rel,
         output,
     }
 }
 
+/// Renders the `--numerics` summary and returns the number of schedules
+/// whose certificate exceeds the certification budget.
+fn numerics_summary(results: &[ComboResult]) -> (String, usize) {
+    let mut rels: Vec<f64> = results.iter().filter_map(|r| r.bound_rel).collect();
+    rels.sort_by(f64::total_cmp);
+    let uncertified = results.len() - rels.len();
+    let violations = rels.iter().filter(|&&r| r > CERT_BUDGET_REL).count();
+    let line = if rels.is_empty() {
+        format!("numerics: no dense certificates in the grid ({uncertified} sparse schedules)")
+    } else {
+        format!(
+            "numerics: {} certified schedules ({} without a dense certificate), \
+             rel bound min {:.3e} / median {:.3e} / max {:.3e}, \
+             {violations} budget violations (budget {CERT_BUDGET_REL:.1e})",
+            rels.len(),
+            uncertified,
+            rels[0],
+            rels[rels.len() / 2],
+            rels[rels.len() - 1],
+        )
+    };
+    (line, violations)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let numerics = args.iter().any(|a| a == "--numerics");
     let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
         resoftmax_obs::set_trace_enabled(Some(true));
         resoftmax_obs::set_metrics_enabled(Some(true));
@@ -92,6 +127,12 @@ fn main() {
         errors,
         warnings
     );
+    let mut violations = 0;
+    if numerics {
+        let (line, v) = numerics_summary(&results);
+        println!("{line}");
+        violations = v;
+    }
     if let Some(path) = trace_path {
         let rec = resoftmax_obs::recorder();
         rec.write(&resoftmax_obs::ChromeTraceSink, &path)
@@ -99,7 +140,7 @@ fn main() {
         eprint!("{}", rec.export(&resoftmax_obs::SummarySink));
         eprintln!("trace: wrote {path}");
     }
-    if errors > 0 {
+    if errors > 0 || violations > 0 {
         std::process::exit(1);
     }
 }

@@ -5,13 +5,60 @@
 //! reports the observed error, so examples, tests and the README can *show*
 //! — not assert — that the recomposition is exact.
 
+use resoftmax_analyzer::error_model;
 use resoftmax_fp16::{ulp_distance, F16};
+use resoftmax_gpusim::AccumFormat;
 use resoftmax_kernels::{
     decomposed_softmax, recomposed_attention, reference_attention, softmax_backward, softmax_rows,
     softmax_rows_f64,
 };
 use resoftmax_tensor::{max_abs_diff, randn_matrix, Matrix};
 use serde::{Deserialize, Serialize};
+
+/// Binary16 comparison tolerances for a decomposed-softmax pipeline over
+/// rows of length `l` split into `t`-wide sub-vectors, derived from the
+/// analyzer's certified error model ([`resoftmax_analyzer::error_model`])
+/// instead of hand-picked constants. The static bound is worst-case, so it
+/// is a sound acceptance threshold for any measured error — the
+/// `resoftmax-bench` cross-validation suite pins `measured ≤ derived` over
+/// the full analysis grid.
+///
+/// Compared to the historical hand constants: the derived absolute/ULP
+/// tolerances are somewhat *looser* (e.g. 3.9e-3 vs 2e-3 and 10 vs 8 ULPs
+/// at `l=256, t=64` — the price of a certificate that must hold for every
+/// input), while the derived row-sum tolerance is *tighter* (3.9e-3 vs the
+/// old 2e-2 blanket).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DerivedTolerances {
+    /// Max acceptable |Δ| vs the correctly rounded oracle. Softmax outputs
+    /// lie in `[0, 1]`, so the certified relative bound doubles as an
+    /// absolute one.
+    pub abs: f64,
+    /// Max acceptable ULP distance at binary16.
+    pub ulps: u32,
+    /// Max acceptable row-sum deviation from 1.0.
+    pub row_sum: f64,
+}
+
+/// Derives the binary16 verification tolerances for `verify_decomposition`
+/// at `(l, t)` from the certified error bound of the fp32-accumulation
+/// decomposed pipeline.
+pub fn derived_fp16_tolerances(l: usize, t: usize) -> DerivedTolerances {
+    let b = error_model::decomposed(l, t, AccumFormat::Fp32, AccumFormat::Fp32);
+    DerivedTolerances {
+        abs: b.rel,
+        ulps: b.ulps,
+        row_sum: b.row_sum,
+    }
+}
+
+/// Derives the binary16 absolute tolerance for `verify_fusion` at `(l, t)`:
+/// the certified relative softmax bound scaled by the attention output
+/// range. With unit-variance `V` the output magnitude is bounded by ~4
+/// (a 4σ row of a convex combination), so `|Δoutput| ≤ 4 × rel`.
+pub fn derived_fusion_tolerance(l: usize, t: usize) -> f64 {
+    4.0 * error_model::decomposed(l, t, AccumFormat::Fp32, AccumFormat::Fp32).rel
+}
 
 /// Observed error between the decomposed/fused pipeline and the monolithic
 /// reference.
@@ -173,18 +220,35 @@ mod tests {
     #[test]
     fn decomposition_exact_at_f64() {
         let r = verify_decomposition(8, 256, 64, 42);
+        // f64/f32 thresholds stay hand-set: they bound *compute* precision,
+        // outside the binary16 error model's scope.
         assert!(r.max_abs_f64 < 1e-13, "{r:?}");
         assert!(r.max_abs_f32 < 1e-6, "{r:?}");
-        assert!(r.max_abs_fp16 < 2e-3, "{r:?}");
-        assert!(r.max_ulp_fp16 <= 8, "{r:?}");
-        assert!(r.max_row_sum_err_fp16 < 2e-2, "{r:?}");
+        // Binary16 thresholds are the certified bounds, not hand constants.
+        let tol = derived_fp16_tolerances(256, 64);
+        assert!(r.max_abs_fp16 < tol.abs, "{r:?} vs {tol:?}");
+        assert!(r.max_ulp_fp16 <= tol.ulps, "{r:?} vs {tol:?}");
+        assert!(r.max_row_sum_err_fp16 < tol.row_sum, "{r:?} vs {tol:?}");
     }
 
     #[test]
     fn fusion_exact_at_f64() {
         let r = verify_fusion(128, 64, 64, 7);
         assert!(r.max_abs_f64 < 1e-5, "{r:?}"); // f32 MMA accumulators
-        assert!(r.max_abs_fp16 < 1e-2, "{r:?}");
+        assert!(r.max_abs_fp16 < derived_fusion_tolerance(128, 64), "{r:?}");
+    }
+
+    #[test]
+    fn derived_tolerances_relate_to_old_hand_constants_as_documented() {
+        let tol = derived_fp16_tolerances(256, 64);
+        // Looser than the old 2e-3 abs / 8 ULP constants (worst-case
+        // certificates), tighter than the old 2e-2 row-sum blanket.
+        assert!(tol.abs > 2e-3 && tol.abs < 1e-2, "{tol:?}");
+        assert!(tol.ulps >= 8, "{tol:?}");
+        assert!(tol.row_sum < 2e-2, "{tol:?}");
+        // Tolerances grow with the sub-vector count and tile width, never
+        // past the certification budget at paper-scale shapes.
+        assert!(derived_fp16_tolerances(4096, 64).abs < resoftmax_analyzer::CERT_BUDGET_REL);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub fn f16_bits_from_f32(x: f32) -> u16 {
         // Subnormal f16 range: value = 0.xxxx * 2^-14.
         // Implicit leading 1 becomes explicit; shift = number of discarded bits.
         let man = man | 0x0080_0000; // add implicit bit -> 24-bit significand
-        let shift = (-14 - unbiased) as u32 + 13; // 13..=24
+        let shift = (-14 - unbiased) as u32 + 13; // unbiased -25..=-15 -> 14..=24
         let kept = (man >> shift) as u16;
         let round_bit = (man >> (shift - 1)) & 1;
         let sticky = man & ((1 << (shift - 1)) - 1);
@@ -222,6 +222,33 @@ mod tests {
                     F16::from_bits(want)
                 );
             }
+        }
+    }
+
+    /// Exhaustive RNE check at the subnormal boundary: the midpoint between
+    /// consecutive f16 subnormals `k·2^-24` and `(k+1)·2^-24` is
+    /// `(2k+1)·2^-25`, exactly representable in f32 and f64. Ties must go
+    /// to the even mantissa; one-ULP offsets must break the tie in the
+    /// right direction — for every `k`, on both conversion paths.
+    #[test]
+    fn subnormal_midpoints_tie_to_even_exhaustively() {
+        for k in 0u32..=1023 {
+            let mid64 = f64::from(2 * k + 1) * 2f64.powi(-25);
+            let mid32 = mid64 as f32; // exact: 11-bit significand at most
+            let even = if k % 2 == 0 { k } else { k + 1 } as u16;
+            assert_eq!(f16_bits_from_f32(mid32), even, "k={k} tie (f32 path)");
+            assert_eq!(f16_bits_from_f64(mid64), even, "k={k} tie (f64 path)");
+            let up = f32::from_bits(mid32.to_bits() + 1);
+            assert_eq!(f16_bits_from_f32(up), (k + 1) as u16, "k={k} above");
+            let down = f32::from_bits(mid32.to_bits() - 1);
+            assert_eq!(f16_bits_from_f32(down), k as u16, "k={k} below");
+        }
+        // Every subnormal (and the smallest normal) is a fixed point of
+        // both narrowing paths.
+        for bits in 0..=0x0400u16 {
+            let v = f32_from_f16_bits(bits);
+            assert_eq!(f16_bits_from_f32(v), bits, "bits {bits:#06x}");
+            assert_eq!(f16_bits_from_f64(f64::from(v)), bits, "bits {bits:#06x}");
         }
     }
 

@@ -357,6 +357,43 @@ pub struct KernelMeta {
     /// (and, on the host reference implementation, across worker threads).
     /// `None` means the generator did not declare one.
     pub split: Option<ParallelSplit>,
+    /// Numeric format of the kernel's reduction accumulators (softmax sums,
+    /// running rescales). `None` means the generator did not declare one;
+    /// the numerics analysis assumes fp32 in that case and says so.
+    pub accum: Option<AccumFormat>,
+}
+
+/// Numeric format a kernel accumulates partial reductions in.
+///
+/// Storage between kernels is always binary16 in this model (the paper's
+/// setting); what varies is the in-register accumulator width, which the
+/// analyzer's numerics pass turns into a per-addition rounding charge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccumFormat {
+    /// 32-bit accumulation (unit roundoff 2⁻²⁴) — the default everywhere.
+    #[default]
+    Fp32,
+    /// 16-bit accumulation (unit roundoff 2⁻¹¹) — halves accumulator
+    /// register pressure at a certified numeric cost.
+    Fp16,
+}
+
+impl AccumFormat {
+    /// Unit roundoff of one accumulation step in this format.
+    pub fn unit_roundoff(self) -> f64 {
+        match self {
+            AccumFormat::Fp32 => (2.0f64).powi(-24),
+            AccumFormat::Fp16 => (2.0f64).powi(-11),
+        }
+    }
+
+    /// Display label (`"fp32"` / `"fp16"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            AccumFormat::Fp32 => "fp32",
+            AccumFormat::Fp16 => "fp16",
+        }
+    }
 }
 
 /// How a kernel's work is divided into independently-schedulable units.

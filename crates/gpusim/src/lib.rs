@@ -51,8 +51,8 @@ mod trace;
 
 pub use device::{DeviceSpec, InvalidDeviceError};
 pub use kernel::{
-    BufferUse, KernelCategory, KernelDesc, KernelDescBuilder, KernelMeta, ParallelSplit, TbGroup,
-    TbSet, TbShape, TbWork,
+    AccumFormat, BufferUse, KernelCategory, KernelDesc, KernelDescBuilder, KernelMeta,
+    ParallelSplit, TbGroup, TbSet, TbShape, TbWork,
 };
 pub use l2::{FilteredTraffic, L2Cache};
 pub use occupancy::{occupancy, LaunchError, Occupancy, OccupancyLimiter};

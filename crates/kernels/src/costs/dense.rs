@@ -2,10 +2,12 @@
 
 use super::{
     buf, AttnDims, TileConfig, EXP_FLOP_EQUIV, FP16_BYTES, FUSED_MATMUL_EFFICIENCY,
-    GS_PROLOGUE_EFFICIENCY, MATMUL_ROOFLINE_EFFICIENCY, SOFTMAX_PHASE_EFFICIENCY,
-    STREAM_EFFICIENCY,
+    FUSED_MATMUL_F16ACC_EFFICIENCY, GS_PROLOGUE_EFFICIENCY, MATMUL_ROOFLINE_EFFICIENCY,
+    SOFTMAX_PHASE_EFFICIENCY, STREAM_EFFICIENCY,
 };
-use resoftmax_gpusim::{KernelCategory, KernelDesc, KernelMeta, ParallelSplit, TbShape, TbWork};
+use resoftmax_gpusim::{
+    AccumFormat, KernelCategory, KernelDesc, KernelMeta, ParallelSplit, TbShape, TbWork,
+};
 
 /// Base metadata shared by every dense attention kernel.
 fn attn_meta(dims: &AttnDims) -> KernelMeta {
@@ -29,6 +31,21 @@ pub enum QkEpilogue {
     /// Scale + mask + Local Softmax fused — the paper's contribution (SDF).
     /// Writes `x'`, `m'`, `d'` instead of raw scores.
     ScaleMaskLocalSoftmax,
+    /// [`ScaleMaskLocalSoftmax`](Self::ScaleMaskLocalSoftmax) with the LS
+    /// partial sums accumulated in binary16 instead of binary32: cheaper
+    /// (halved accumulator registers), admissible only where the analyzer
+    /// certifies the resulting error bound.
+    ScaleMaskLocalSoftmaxF16Acc,
+}
+
+impl QkEpilogue {
+    /// `true` for the epilogues that fuse a Local Softmax.
+    pub fn fuses_ls(self) -> bool {
+        matches!(
+            self,
+            QkEpilogue::ScaleMaskLocalSoftmax | QkEpilogue::ScaleMaskLocalSoftmaxF16Acc
+        )
+    }
 }
 
 /// What the `P·V` MatMul's prologue computes.
@@ -86,6 +103,13 @@ pub fn matmul_qk(
             (2 * tile.m * FP16_BYTES) as f64,
             FUSED_MATMUL_EFFICIENCY,
         ),
+        QkEpilogue::ScaleMaskLocalSoftmaxF16Acc => (
+            "+scale+mask+ls16",
+            KernelCategory::MatMulQk,
+            (2.0 + EXP_FLOP_EQUIV + 4.0) * mn,
+            (2 * tile.m * FP16_BYTES) as f64,
+            FUSED_MATMUL_F16ACC_EFFICIENCY,
+        ),
     };
 
     let work = TbWork {
@@ -106,23 +130,24 @@ pub fn matmul_qk(
         .meta(KernelMeta {
             tile_m: Some(tile.m),
             tile_n: Some(tile.n),
-            sub_vector: matches!(epilogue, QkEpilogue::ScaleMaskLocalSoftmax).then_some(tile.n),
+            sub_vector: epilogue.fuses_ls().then_some(tile.n),
             fused_scale_mask: !matches!(epilogue, QkEpilogue::None),
-            fused_ls: matches!(epilogue, QkEpilogue::ScaleMaskLocalSoftmax),
+            fused_ls: epilogue.fuses_ls(),
             split: Some(ParallelSplit::OutputTiles),
+            accum: Some(match epilogue {
+                QkEpilogue::ScaleMaskLocalSoftmaxF16Acc => AccumFormat::Fp16,
+                _ => AccumFormat::Fp32,
+            }),
             ..attn_meta(dims)
         })
         .reads(buf(prefix, "q"), q_once)
         .reads(buf(prefix, "k"), k_once);
-    match epilogue {
-        QkEpilogue::ScaleMaskLocalSoftmax => {
-            b.writes(buf(prefix, "x_prime"), dims.attn_bytes())
-                .writes(buf(prefix, "m_prime"), dims.intermediate_bytes(tile.n))
-                .writes(buf(prefix, "d_prime"), dims.intermediate_bytes(tile.n));
-        }
-        _ => {
-            b.writes(buf(prefix, "scores"), dims.attn_bytes());
-        }
+    if epilogue.fuses_ls() {
+        b.writes(buf(prefix, "x_prime"), dims.attn_bytes())
+            .writes(buf(prefix, "m_prime"), dims.intermediate_bytes(tile.n))
+            .writes(buf(prefix, "d_prime"), dims.intermediate_bytes(tile.n));
+    } else {
+        b.writes(buf(prefix, "scores"), dims.attn_bytes());
     }
     b.build()
 }
@@ -183,6 +208,7 @@ pub fn matmul_pv(
             sub_vector: matches!(prologue, PvPrologue::GlobalScaling).then_some(tile.n),
             fused_gs: matches!(prologue, PvPrologue::GlobalScaling),
             split: Some(ParallelSplit::OutputTiles),
+            accum: Some(AccumFormat::Fp32),
             ..attn_meta(dims)
         })
         .reads(buf(prefix, p_buf), dims.attn_bytes())
@@ -219,6 +245,7 @@ pub fn softmax_monolithic(dims: &AttnDims, prefix: &str, input: &str) -> KernelD
         .uniform(rows, work)
         .meta(KernelMeta {
             split: Some(ParallelSplit::OutputRows),
+            accum: Some(AccumFormat::Fp32),
             ..attn_meta(dims)
         })
         .reads(buf(prefix, input), dims.attn_bytes())
@@ -228,8 +255,21 @@ pub fn softmax_monolithic(dims: &AttnDims, prefix: &str, input: &str) -> KernelD
 
 /// Cost of the standalone LS kernel (softmax decomposition without fusion,
 /// the paper's intermediate "SD" configuration): square `t × t` tiles, one
-/// per thread block.
+/// per thread block. Partial sums accumulate in binary32.
 pub fn local_softmax(dims: &AttnDims, t: usize, prefix: &str, input: &str) -> KernelDesc {
+    local_softmax_accum(dims, t, prefix, input, AccumFormat::Fp32)
+}
+
+/// [`local_softmax`] with an explicit partial-sum accumulator format; the
+/// binary16 variant is only admissible where the analyzer certifies its
+/// error bound.
+pub fn local_softmax_accum(
+    dims: &AttnDims,
+    t: usize,
+    prefix: &str,
+    input: &str,
+    accum: AccumFormat,
+) -> KernelDesc {
     let tiles = dims.l.div_ceil(t) as u64 * dims.kv_len.div_ceil(t) as u64 * dims.instances();
     let tile_bytes = (t * t * FP16_BYTES) as f64;
     let work = TbWork {
@@ -240,8 +280,12 @@ pub fn local_softmax(dims: &AttnDims, t: usize, prefix: &str, input: &str) -> Ke
         mem_active_fraction: 1.0,
         efficiency: STREAM_EFFICIENCY,
     };
+    let name_sfx = match accum {
+        AccumFormat::Fp32 => "",
+        AccumFormat::Fp16 => "16",
+    };
     KernelDesc::builder(
-        format!("ls(L={},T={t})", dims.l),
+        format!("ls{name_sfx}(L={},T={t})", dims.l),
         KernelCategory::LocalSoftmax,
     )
     .shape(TbShape::new(256, (t * t * FP16_BYTES) as u32, 40))
@@ -249,6 +293,7 @@ pub fn local_softmax(dims: &AttnDims, t: usize, prefix: &str, input: &str) -> Ke
     .meta(KernelMeta {
         sub_vector: Some(t),
         split: Some(ParallelSplit::RowSegments),
+        accum: Some(accum),
         ..attn_meta(dims)
     })
     .reads(buf(prefix, input), dims.attn_bytes())
@@ -289,6 +334,7 @@ pub fn inter_reduction(dims: &AttnDims, t: usize, prefix: &str) -> KernelDesc {
     .meta(KernelMeta {
         sub_vector: Some(t),
         split: Some(ParallelSplit::OutputRows),
+        accum: Some(AccumFormat::Fp32),
         ..attn_meta(dims)
     })
     .reads(buf(prefix, "m_prime"), dims.intermediate_bytes(t))
@@ -366,6 +412,7 @@ pub fn fused_mha_online(dims: &AttnDims, tile: TileConfig, prefix: &str) -> Kern
         tile_m: Some(tile.m),
         tile_n: Some(tile.n),
         split: Some(ParallelSplit::OutputRows),
+        accum: Some(AccumFormat::Fp32),
         ..attn_meta(dims)
     })
     .reads(buf(prefix, "q"), q_once)
@@ -424,6 +471,37 @@ mod tests {
         let extra = fused.total_dram_bytes() - plain.total_dram_bytes();
         assert!(extra < 0.05 * plain.total_dram_bytes(), "extra {extra}");
         assert!(fused.writes.iter().any(|b| b.id == "l0.m_prime"));
+    }
+
+    #[test]
+    fn f16_accum_epilogue_is_cheaper_and_declares_its_format() {
+        let f32acc = matmul_qk(
+            &bert_dims(),
+            TileConfig::new(64, 16),
+            "l0",
+            QkEpilogue::ScaleMaskLocalSoftmax,
+        );
+        let f16acc = matmul_qk(
+            &bert_dims(),
+            TileConfig::new(64, 16),
+            "l0",
+            QkEpilogue::ScaleMaskLocalSoftmaxF16Acc,
+        );
+        // Identical bytes and FLOPs; only the efficiency (and thus time)
+        // and the declared accumulator format differ.
+        assert_eq!(f16acc.total_dram_bytes(), f32acc.total_dram_bytes());
+        assert_eq!(f16acc.total_flops(), f32acc.total_flops());
+        assert_eq!(f16acc.meta.accum, Some(AccumFormat::Fp16));
+        assert_eq!(f32acc.meta.accum, Some(AccumFormat::Fp32));
+        assert!(f16acc.meta.fused_ls && f16acc.meta.sub_vector == Some(16));
+        assert!(f16acc.name.contains("ls16"));
+
+        let ls16 = local_softmax_accum(&bert_dims(), 16, "l0", "scores", AccumFormat::Fp16);
+        assert_eq!(ls16.meta.accum, Some(AccumFormat::Fp16));
+        assert!(ls16.name.starts_with("ls16"));
+        let ls = local_softmax(&bert_dims(), 16, "l0", "scores");
+        assert_eq!(ls.meta.accum, Some(AccumFormat::Fp32));
+        assert_eq!(ls.total_dram_bytes(), ls16.total_dram_bytes());
     }
 
     #[test]

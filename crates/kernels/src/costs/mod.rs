@@ -67,6 +67,13 @@ pub const STREAM_EFFICIENCY: f64 = 0.93;
 /// 28%∼55%"): 0.75 × 0.70.
 pub const FUSED_MATMUL_EFFICIENCY: f64 = 0.52;
 
+/// MatMul with a fused LS epilogue whose partial sums accumulate in
+/// binary16 instead of binary32: halving the accumulator register
+/// pressure lifts occupancy enough to claw back a few points of the fused
+/// penalty (0.75 × 0.75) — but the variant is only *legal* where the
+/// analyzer's numerics pass certifies its error bound (small `T`).
+pub const FUSED_MATMUL_F16ACC_EFFICIENCY: f64 = 0.56;
+
 /// MatMul with a fused GS-style *prologue* (elementwise multiply on the
 /// streamed operand, no transcendentals): a milder ~30% slowdown — the
 /// bottom of the paper's 28–55% band: 0.75 × 0.77.

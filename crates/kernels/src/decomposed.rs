@@ -106,6 +106,78 @@ pub fn local_softmax<T: Scalar>(
     })
 }
 
+/// LS with the normalizer accumulated at *working* precision: the partial
+/// sum `d'` rounds to `T` after every add, modelling a kernel that keeps its
+/// accumulator in the data's own format rather than widening — the `SDF16`
+/// strategy's fp16 LS epilogue. This is the empirical counterpart of the
+/// analyzer's `AccumFormat::Fp16` LS term: the static certificate charges
+/// one unit roundoff at `T`'s precision per accumulation step, and this
+/// function realizes exactly that rounding pattern so the bound can be
+/// cross-validated against measured error. For `T = f64` it coincides with
+/// [`local_softmax`] (the wide accumulator *is* the working format there).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `t` does not divide the row length.
+pub fn local_softmax_narrow_accum<T: Scalar>(
+    x: &Matrix<T>,
+    t: usize,
+) -> Result<LocalSoftmaxOutput<T>, ShapeError> {
+    let n_sv = check_subvector(x.cols(), t)?;
+    let mut x_prime = Matrix::zeros(x.rows(), x.cols());
+    let mut m_prime = Matrix::zeros(x.rows(), n_sv);
+    let mut d_prime = Matrix::zeros(x.rows(), n_sv);
+    for r in 0..x.rows() {
+        for k in 0..n_sv {
+            let base = k * t;
+            let mut m = f64::NEG_INFINITY;
+            for j in 0..t {
+                m = m.max(x.get(r, base + j).to_f64());
+            }
+            if m == f64::NEG_INFINITY {
+                m_prime.set(r, k, T::neg_infinity());
+                continue;
+            }
+            // The accumulator lives at working precision: every partial sum
+            // rounds to `T` before the next add.
+            let mut d = T::zero();
+            for j in 0..t {
+                let e = T::from_f64((x.get(r, base + j).to_f64() - m).exp());
+                d = T::from_f64(d.to_f64() + e.to_f64());
+            }
+            for j in 0..t {
+                let e = T::from_f64((x.get(r, base + j).to_f64() - m).exp());
+                x_prime.set(r, base + j, T::from_f64(e.to_f64() / d.to_f64()));
+            }
+            m_prime.set(r, k, T::from_f64(m));
+            d_prime.set(r, k, d);
+        }
+    }
+    Ok(LocalSoftmaxOutput {
+        x_prime,
+        m_prime,
+        d_prime,
+    })
+}
+
+/// The decomposed pipeline LS → IR → GS with the LS normalizer accumulated
+/// at working precision ([`local_softmax_narrow_accum`]) — the numeric model
+/// of the `SDF16` strategy. IR and GS still reduce wide, matching the
+/// schedule builder's metadata (only the LS epilogue takes the narrow
+/// format).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `t` does not divide the row length.
+pub fn decomposed_softmax_narrow_accum<T: Scalar>(
+    x: &Matrix<T>,
+    t: usize,
+) -> Result<Matrix<T>, ShapeError> {
+    let ls = local_softmax_narrow_accum(x, t)?;
+    let ir = inter_reduce(&ls.m_prime, &ls.d_prime);
+    global_scale(&ls.x_prime, &ir.r_prime, t)
+}
+
 /// IR: reduces `m'`, `d'` across each row's sub-vectors into the global `m`,
 /// `d`, and emits the reconstruction factor `r'_k = e^{m'_k − m} · d'_k / d`.
 ///
@@ -339,6 +411,45 @@ mod tests {
         for r in 0..4 {
             assert!((ir.r_prime.get(r, 0) - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn narrow_accum_is_identity_at_f64() {
+        // With T = f64 the "narrow" accumulator is the wide one: the two LS
+        // variants must agree bit-for-bit.
+        let x = randn_matrix::<f64>(4, 128, 3.0, 9);
+        let wide = local_softmax(&x, 16).unwrap();
+        let narrow = local_softmax_narrow_accum(&x, 16).unwrap();
+        assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn narrow_accum_fp16_stays_close_and_normalized() {
+        // Step-rounding the fp16 normalizer adds roughly (T−1) half-precision
+        // roundoffs on top of the wide pipeline — small at T = 16, and rows
+        // must still sum to ~1 after IR's wide rescale.
+        let x = randn_matrix::<F16>(8, 256, 3.0, 10);
+        let oracle = softmax_rows_f64(&x);
+        let narrow = decomposed_softmax_narrow_accum(&x, 16).unwrap();
+        assert!(
+            max_abs_diff(&oracle, &narrow) < 1.2e-2,
+            "diff {}",
+            max_abs_diff(&oracle, &narrow)
+        );
+        for r in 0..8 {
+            let s: f64 = narrow.row(r).iter().map(|v| v.to_f64()).sum();
+            assert!((s - 1.0).abs() < 2e-2, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn narrow_accum_masked_rows_and_shapes() {
+        let x = Matrix::<F16>::filled(1, 16, F16::neg_infinity());
+        let dec = decomposed_softmax_narrow_accum(&x, 4).unwrap();
+        assert!(dec.as_slice().iter().all(|v| v.to_f64() == 0.0));
+        let bad = Matrix::<F16>::zeros(2, 10);
+        assert!(local_softmax_narrow_accum(&bad, 3).is_err());
+        assert!(decomposed_softmax_narrow_accum(&bad, 0).is_err());
     }
 
     #[test]

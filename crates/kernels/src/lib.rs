@@ -34,8 +34,9 @@ mod softmax;
 pub mod sparse_numeric;
 
 pub use decomposed::{
-    decomposed_softmax, decomposed_softmax_backward, global_scale, inter_reduce, local_softmax,
-    InterReductionOutput, LocalSoftmaxOutput,
+    decomposed_softmax, decomposed_softmax_backward, decomposed_softmax_narrow_accum, global_scale,
+    inter_reduce, local_softmax, local_softmax_narrow_accum, InterReductionOutput,
+    LocalSoftmaxOutput,
 };
 pub use fused::{
     fused_gs_pv, fused_qk_ls, recomposed_attention, reference_attention, FusedQkLsOutput,

@@ -18,10 +18,10 @@
 use crate::config::{AttentionKind, ModelConfig};
 use crate::engine::RunReport;
 use crate::schedule::{RunParams, SoftmaxStrategy};
-use resoftmax_analyzer::{DecodeSpec, ScheduleSpec, StrategyKind};
+use resoftmax_analyzer::{error_model, DecodeSpec, ErrorBound, ScheduleSpec, StrategyKind};
 use resoftmax_gpusim::{
-    DeviceSpec, KernelCategory, KernelDesc, KernelDescBuilder, KernelMeta, LaunchError,
-    ParallelSplit, TbGroup, TbShape, TbWork,
+    AccumFormat, DeviceSpec, KernelCategory, KernelDesc, KernelDescBuilder, KernelMeta,
+    LaunchError, ParallelSplit, TbGroup, TbShape, TbWork,
 };
 use resoftmax_kernels::costs::{
     buf, common, row_threads, EXP_FLOP_EQUIV, FP16_BYTES, SOFTMAX_PHASE_EFFICIENCY,
@@ -90,7 +90,17 @@ pub fn build_batched_decode_schedule(
         ctxs.iter().all(|&c| c > 0),
         "decode context lengths must be nonzero"
     );
-    let recomposed = params.strategy == SoftmaxStrategy::Recomposed;
+    let recomposed = matches!(
+        params.strategy,
+        SoftmaxStrategy::Recomposed | SoftmaxStrategy::RecomposedFp16
+    );
+    // The LS epilogue's partial-sum accumulation format (the GEMV dot
+    // products themselves always accumulate in binary32).
+    let ls_accum = if params.strategy == SoftmaxStrategy::RecomposedFp16 {
+        AccumFormat::Fp16
+    } else {
+        AccumFormat::Fp32
+    };
     let rows = ctxs.len();
     let d_model = model.d_model;
     let heads = model.heads;
@@ -140,7 +150,11 @@ pub fn build_batched_decode_schedule(
         let mut qk = KernelDesc::builder(
             format!(
                 "decode_qk{}(rows={rows},max_ctx={max_ctx})",
-                if recomposed { "+ls" } else { "" }
+                match (recomposed, ls_accum) {
+                    (false, _) => "",
+                    (true, AccumFormat::Fp32) => "+ls",
+                    (true, AccumFormat::Fp16) => "+ls16",
+                }
             ),
             KernelCategory::MatMulQk,
         );
@@ -170,6 +184,11 @@ pub fn build_batched_decode_schedule(
             sub_vector: recomposed.then_some(t_sub),
             tile_n: recomposed.then_some(t_sub),
             split: Some(ParallelSplit::OutputRows),
+            accum: Some(if recomposed {
+                ls_accum
+            } else {
+                AccumFormat::Fp32
+            }),
             ..KernelMeta::default()
         })
         .reads(buf(&prefix, "k_cache"), cache_total)
@@ -215,6 +234,7 @@ pub fn build_batched_decode_schedule(
                     instances: Some(inst),
                     sub_vector: Some(t_sub),
                     split: Some(ParallelSplit::OutputRows),
+                    accum: Some(AccumFormat::Fp32),
                     ..KernelMeta::default()
                 })
                 .reads(buf(&prefix, "m_prime"), sv_total)
@@ -246,6 +266,7 @@ pub fn build_batched_decode_schedule(
             sm.meta(KernelMeta {
                 instances: Some(inst),
                 split: Some(ParallelSplit::OutputRows),
+                accum: Some(AccumFormat::Fp32),
                 ..KernelMeta::default()
             })
             .reads(buf(&prefix, "scores"), row_total)
@@ -284,6 +305,7 @@ pub fn build_batched_decode_schedule(
             fused_gs: recomposed,
             sub_vector: recomposed.then_some(t_sub),
             split: Some(ParallelSplit::OutputRows),
+            accum: Some(AccumFormat::Fp32),
             ..KernelMeta::default()
         })
         .reads(buf(&prefix, "v_cache"), cache_total)
@@ -392,7 +414,9 @@ pub fn decode_analysis_spec(
             // instance leaves nothing for standalone LS/IR/GS to win), so
             // the spec must expect the baseline kernel pattern.
             SoftmaxStrategy::Baseline | SoftmaxStrategy::Decomposed => StrategyKind::Baseline,
-            SoftmaxStrategy::Recomposed => StrategyKind::Recomposed,
+            SoftmaxStrategy::Recomposed | SoftmaxStrategy::RecomposedFp16 => {
+                StrategyKind::Recomposed
+            }
             SoftmaxStrategy::OnlineFused => StrategyKind::OnlineFused,
         },
         tile_m: params.tile.m,
@@ -418,7 +442,35 @@ pub fn check_decode_schedule(
     kernels: &[KernelDesc],
 ) -> resoftmax_analyzer::Report {
     let spec = decode_analysis_spec(model, ctxs, params);
-    resoftmax_analyzer::Report::new(resoftmax_analyzer::analyze(&spec, kernels))
+    resoftmax_analyzer::analyze_certified(&spec, kernels)
+}
+
+/// The certified numeric error bound for the batched-decode schedule
+/// `(ctxs, params)` would build, computed without building it — the decode
+/// counterpart of [`crate::schedule::static_error_bound`] (same rationale:
+/// the builder debug-asserts its own analysis, so uncertifiable points must
+/// be rejected before a schedule exists).
+///
+/// The bound is taken at the *longest* context of the batch, matching what
+/// the numerics pass reports for the heterogeneous grid. Returns `None`
+/// for empty batches, all-zero contexts, and the online-fused strategy
+/// (which the decode builder rejects outright).
+pub fn decode_error_bound(ctxs: &[usize], params: &RunParams) -> Option<ErrorBound> {
+    let ctx = ctxs.iter().copied().max().filter(|&c| c > 0)?;
+    let t = params.tile.n;
+    Some(match params.strategy {
+        // Decomposed rides the baseline decode path (monolithic softmax).
+        SoftmaxStrategy::Baseline | SoftmaxStrategy::Decomposed => {
+            error_model::monolithic(ctx, AccumFormat::Fp32)
+        }
+        SoftmaxStrategy::Recomposed => {
+            error_model::decomposed(ctx, t, AccumFormat::Fp32, AccumFormat::Fp32)
+        }
+        SoftmaxStrategy::RecomposedFp16 => {
+            error_model::decomposed(ctx, t, AccumFormat::Fp16, AccumFormat::Fp32)
+        }
+        SoftmaxStrategy::OnlineFused => return None,
+    })
 }
 
 /// Simulates generating one token at context length `ctx`.
@@ -576,7 +628,34 @@ mod tests {
             let ks = build_batched_decode_schedule(&m, &ctxs, &params);
             let report = check_decode_schedule(&m, &ctxs, &params, &ks);
             assert!(!report.has_errors(), "{strategy:?}:\n{}", report.render());
+            // The static decode bound is exactly what the pass certifies.
+            assert_eq!(report.error_bound, decode_error_bound(&ctxs, &params));
         }
+    }
+
+    #[test]
+    fn fp16_recomposed_decode_certifies_at_small_tiles() {
+        use resoftmax_kernels::costs::TileConfig;
+        let m = ModelConfig::gpt_neo_1_3b();
+        let ctxs = [260, 1000, 4096];
+        let params = RunParams::new(4096)
+            .strategy(SoftmaxStrategy::RecomposedFp16)
+            .tile(TileConfig::new(64, 16));
+        let ks = build_batched_decode_schedule(&m, &ctxs, &params);
+        let report = check_decode_schedule(&m, &ctxs, &params, &ks);
+        assert!(!report.has_errors(), "{}", report.render());
+        assert_eq!(report.error_bound, decode_error_bound(&ctxs, &params));
+        // The fused QK GEMV declares its binary16 LS accumulation.
+        let qk = ks
+            .iter()
+            .find(|k| k.category == KernelCategory::MatMulQk)
+            .unwrap();
+        assert_eq!(qk.meta.accum, Some(AccumFormat::Fp16));
+        assert!(qk.name.contains("+ls16"), "{}", qk.name);
+        // At the default 64-wide tile the same strategy is uncertifiable.
+        let wide = RunParams::new(4096).strategy(SoftmaxStrategy::RecomposedFp16);
+        let bound = decode_error_bound(&ctxs, &wide).unwrap();
+        assert!(!bound.certifies(resoftmax_analyzer::CERT_BUDGET_REL));
     }
 
     #[test]

@@ -45,13 +45,15 @@ mod workload;
 pub use config::{AttentionKind, ModelConfig};
 pub use decode::{
     build_batched_decode_schedule, build_decode_schedule, check_decode_schedule,
-    decode_analysis_spec, run_decode_step,
+    decode_analysis_spec, decode_error_bound, run_decode_step,
 };
 pub use engine::{run_inference, RunReport};
 pub use error::Error;
 pub use library::{LibraryProfile, SparseSupport};
 pub use resoftmax_gpusim::ParallelSplit;
-pub use schedule::{analysis_spec, build_schedule, check_schedule, RunParams, SoftmaxStrategy};
+pub use schedule::{
+    analysis_spec, build_schedule, check_schedule, static_error_bound, RunParams, SoftmaxStrategy,
+};
 pub use seq2seq::{build_seq2seq_schedule, run_seq2seq, Seq2SeqConfig};
 pub use session::{Session, SessionBuilder};
 pub use training::{build_training_schedule, run_training_iteration};

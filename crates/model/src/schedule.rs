@@ -12,8 +12,8 @@
 
 use crate::config::ModelConfig;
 use crate::library::{LibraryProfile, SparseSupport};
-use resoftmax_analyzer::{ScheduleSpec, SparseSpec, StrategyKind};
-use resoftmax_gpusim::{KernelCategory, KernelDesc, ParallelSplit, TbSet};
+use resoftmax_analyzer::{error_model, ErrorBound, ScheduleSpec, SparseSpec, StrategyKind};
+use resoftmax_gpusim::{AccumFormat, KernelCategory, KernelDesc, ParallelSplit, TbSet};
 use resoftmax_kernels::costs::{common, dense, sparse, AttnDims, TileConfig};
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +31,13 @@ pub enum SoftmaxStrategy {
     Decomposed,
     /// Softmax decomposition + fusion (SDF): the paper's contribution.
     Recomposed,
+    /// Extension: SDF with the Local-Softmax partial sums accumulated in
+    /// binary16 instead of binary32. Cheaper in the fused epilogue (halved
+    /// accumulator register pressure) but numerically admissible only where
+    /// the analyzer's numerics pass certifies the error bound — in practice
+    /// small sub-vector lengths (`T ≤ 32`). The autotuner prices it through
+    /// its four-gate oracle; `Session` rejects uncertifiable combinations.
+    RecomposedFp16,
     /// Extension: fully fused online-softmax attention — one kernel per SDA
     /// block, no attention matrix in DRAM at all (`resoftmax_kernels::online`).
     OnlineFused,
@@ -46,12 +53,14 @@ impl SoftmaxStrategy {
         ]
     }
 
-    /// Short label used in reports ("Baseline" / "SD" / "SDF" / "Online").
+    /// Short label used in reports ("Baseline" / "SD" / "SDF" / "SDF16" /
+    /// "Online").
     pub fn label(self) -> &'static str {
         match self {
             SoftmaxStrategy::Baseline => "Baseline",
             SoftmaxStrategy::Decomposed => "SD",
             SoftmaxStrategy::Recomposed => "SDF",
+            SoftmaxStrategy::RecomposedFp16 => "SDF16",
             SoftmaxStrategy::OnlineFused => "Online",
         }
     }
@@ -259,7 +268,12 @@ pub fn analysis_spec(model: &ModelConfig, params: &RunParams) -> ScheduleSpec {
         strategy: match params.strategy {
             SoftmaxStrategy::Baseline => StrategyKind::Baseline,
             SoftmaxStrategy::Decomposed => StrategyKind::Decomposed,
-            SoftmaxStrategy::Recomposed => StrategyKind::Recomposed,
+            // SDF16 is structurally SDF; only the accumulation-format
+            // metadata differs, and the numerics pass reads that off the
+            // kernels themselves.
+            SoftmaxStrategy::Recomposed | SoftmaxStrategy::RecomposedFp16 => {
+                StrategyKind::Recomposed
+            }
             SoftmaxStrategy::OnlineFused => StrategyKind::OnlineFused,
         },
         tile_m: params.tile.m,
@@ -282,7 +296,40 @@ pub fn check_schedule(
     kernels: &[KernelDesc],
 ) -> resoftmax_analyzer::Report {
     let spec = analysis_spec(model, params);
-    resoftmax_analyzer::Report::new(resoftmax_analyzer::analyze(&spec, kernels))
+    resoftmax_analyzer::analyze_certified(&spec, kernels)
+}
+
+/// The certified numeric error bound the analyzer's numerics pass will
+/// attach to the schedule `(model, params)` *would* build — computed
+/// statically, without building it.
+///
+/// This is the form the autotuner's numerics gate and [`crate::Session`]
+/// validation use: [`build_schedule`] debug-asserts its own analysis, so an
+/// uncertifiable combination must be rejected *before* a schedule exists
+/// (the same reasoning as `check_ls_split`). Returns `None` where the
+/// numerics pass does not apply: actually-sparse schedules (no bound is
+/// claimed for block-sparse kernels) and zero-length sequences.
+///
+/// The bound agrees exactly with what
+/// [`resoftmax_analyzer::analyze_certified`] reports on the built schedule;
+/// a test pins that correspondence across strategies and tiles.
+pub fn static_error_bound(model: &ModelConfig, params: &RunParams) -> Option<ErrorBound> {
+    let use_sparse = model.attention.is_sparse()
+        && !matches!(params.profile.sparse_support, SparseSupport::DenseFallback);
+    if use_sparse || params.seq_len == 0 {
+        return None;
+    }
+    let (ctx, t) = (params.seq_len, params.tile.n);
+    Some(match params.strategy {
+        SoftmaxStrategy::Baseline => error_model::monolithic(ctx, AccumFormat::Fp32),
+        SoftmaxStrategy::Decomposed | SoftmaxStrategy::Recomposed => {
+            error_model::decomposed(ctx, t, AccumFormat::Fp32, AccumFormat::Fp32)
+        }
+        SoftmaxStrategy::RecomposedFp16 => {
+            error_model::decomposed(ctx, t, AccumFormat::Fp16, AccumFormat::Fp32)
+        }
+        SoftmaxStrategy::OnlineFused => error_model::online(ctx, t, AccumFormat::Fp32),
+    })
 }
 
 fn build_layer(
@@ -479,6 +526,16 @@ fn build_attention(
                     sparse::BsPvPrologue::GlobalScaling,
                 ));
             }
+            SoftmaxStrategy::RecomposedFp16 => {
+                // No certified bound exists for block-sparse kernels, so the
+                // strategy is undefined there; `Session` rejects the
+                // combination with a typed error before reaching the builder.
+                panic!(
+                    "fp16-accumulation recomposed softmax (SDF16) has no \
+                     block-sparse implementation; use a dense-fallback \
+                     profile or an fp32-accumulation strategy"
+                );
+            }
         }
         for k in &mut kernels[start..] {
             scale_work(k, gather_penalty);
@@ -528,6 +585,7 @@ fn build_attention(
             prefix,
             match params.strategy {
                 SoftmaxStrategy::Recomposed => dense::QkEpilogue::ScaleMaskLocalSoftmax,
+                SoftmaxStrategy::RecomposedFp16 => dense::QkEpilogue::ScaleMaskLocalSoftmaxF16Acc,
                 _ => dense::QkEpilogue::ScaleMask,
             },
         ));
@@ -555,11 +613,18 @@ fn build_attention(
                 dense::PvPrologue::None,
             ));
         }
-        SoftmaxStrategy::Recomposed => {
+        SoftmaxStrategy::Recomposed | SoftmaxStrategy::RecomposedFp16 => {
             // With separate scale/mask the LS epilogue was not emitted above;
-            // run LS standalone in that degenerate combination.
+            // run LS standalone in that degenerate combination (keeping the
+            // strategy's declared accumulation format).
             if profile.separate_scale_mask {
-                kernels.push(dense::local_softmax(&dims, t, prefix, "scores"));
+                let accum = match params.strategy {
+                    SoftmaxStrategy::RecomposedFp16 => AccumFormat::Fp16,
+                    _ => AccumFormat::Fp32,
+                };
+                kernels.push(dense::local_softmax_accum(
+                    &dims, t, prefix, "scores", accum,
+                ));
             }
             kernels.push(dense::inter_reduction(&dims, t, prefix));
             kernels.push(dense::matmul_pv(
@@ -673,6 +738,81 @@ mod tests {
         let tbs = |ks: &[KernelDesc]| -> u64 { ks.iter().map(|k| k.tbs.count()).sum() };
         let r = tbs(&b8) as f64 / tbs(&b1) as f64;
         assert!(r > 7.0 && r < 9.0, "batch-8 grid ratio {r}");
+    }
+
+    #[test]
+    fn recomposed_fp16_mirrors_recomposed_and_declares_its_format() {
+        let params = RunParams::new(4096)
+            .strategy(SoftmaxStrategy::RecomposedFp16)
+            .tile(TileConfig::new(64, 16));
+        let ks = build_schedule(&bert(), &params);
+        // Same shape as SDF: no standalone softmax, IR present.
+        assert!(!ks.iter().any(|k| k.category == KernelCategory::Softmax));
+        assert!(ks
+            .iter()
+            .any(|k| k.category == KernelCategory::InterReduction));
+        assert_eq!(ks.len(), 1 + 24 * 11);
+        // The fused QK kernel declares binary16 accumulation.
+        let qk = ks
+            .iter()
+            .find(|k| k.category == KernelCategory::MatMulQk)
+            .unwrap();
+        assert_eq!(qk.meta.accum, Some(AccumFormat::Fp16));
+        assert!(qk.name.contains("ls16"), "{}", qk.name);
+        // The separate-scale-mask degenerate path keeps the format on the
+        // standalone LS kernel instead.
+        let hf = params.clone().profile(LibraryProfile::huggingface());
+        let ks = build_schedule(&bert(), &hf);
+        let ls = ks
+            .iter()
+            .find(|k| k.category == KernelCategory::LocalSoftmax)
+            .unwrap();
+        assert_eq!(ls.meta.accum, Some(AccumFormat::Fp16));
+    }
+
+    #[test]
+    fn static_bound_matches_certified_bound_across_strategies() {
+        for (strategy, tile_n) in [
+            (SoftmaxStrategy::Baseline, 64),
+            (SoftmaxStrategy::Decomposed, 64),
+            (SoftmaxStrategy::Recomposed, 64),
+            (SoftmaxStrategy::RecomposedFp16, 16),
+            (SoftmaxStrategy::OnlineFused, 64),
+        ] {
+            let params = RunParams::new(2048)
+                .strategy(strategy)
+                .tile(TileConfig::new(64, tile_n));
+            let ks = build_schedule(&bert(), &params);
+            let report = check_schedule(&bert(), &params, &ks);
+            let stat = static_error_bound(&bert(), &params);
+            assert!(stat.is_some(), "{}", strategy.label());
+            assert_eq!(report.error_bound, stat, "{}", strategy.label());
+        }
+        // Sparse schedules carry no certified bound, statically or otherwise.
+        let sparse = ModelConfig::bigbird_large();
+        assert_eq!(static_error_bound(&sparse, &RunParams::new(4096)), None);
+    }
+
+    #[test]
+    fn fp16_recomposition_uncertifiable_at_wide_tiles() {
+        let params = RunParams::new(4096)
+            .strategy(SoftmaxStrategy::RecomposedFp16)
+            .tile(TileConfig::new(64, 64));
+        let bound = static_error_bound(&bert(), &params).unwrap();
+        assert!(!bound.certifies(resoftmax_analyzer::CERT_BUDGET_REL));
+        // ...while the paper-default fp32 SDF at the same point certifies.
+        let fp32 = params.strategy(SoftmaxStrategy::Recomposed);
+        let bound = static_error_bound(&bert(), &fp32).unwrap();
+        assert!(bound.certifies(resoftmax_analyzer::CERT_BUDGET_REL));
+    }
+
+    #[test]
+    #[should_panic(expected = "block-sparse")]
+    fn fp16_recomposition_panics_on_sparse_schedules() {
+        let params = RunParams::new(4096)
+            .strategy(SoftmaxStrategy::RecomposedFp16)
+            .tile(TileConfig::new(64, 16));
+        let _ = build_schedule(&ModelConfig::bigbird_large(), &params);
     }
 
     #[test]

@@ -95,12 +95,17 @@ fn attention_block(
                 dense::PvPrologue::None,
             ));
         }
-        SoftmaxStrategy::Recomposed => {
+        SoftmaxStrategy::Recomposed | SoftmaxStrategy::RecomposedFp16 => {
             kernels.push(dense::matmul_qk(
                 dims,
                 tile,
                 prefix,
-                dense::QkEpilogue::ScaleMaskLocalSoftmax,
+                match params.strategy {
+                    SoftmaxStrategy::RecomposedFp16 => {
+                        dense::QkEpilogue::ScaleMaskLocalSoftmaxF16Acc
+                    }
+                    _ => dense::QkEpilogue::ScaleMaskLocalSoftmax,
+                },
             ));
             kernels.push(dense::inter_reduction(dims, tile.n, prefix));
             kernels.push(dense::matmul_pv(

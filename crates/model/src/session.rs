@@ -11,7 +11,11 @@
 use crate::config::{AttentionKind, ModelConfig};
 use crate::engine::{simulate_schedule, RunReport};
 use crate::error::Error;
-use crate::schedule::{build_schedule, check_schedule, RunParams, SoftmaxStrategy};
+use crate::library::SparseSupport;
+use crate::schedule::{
+    build_schedule, check_schedule, static_error_bound, RunParams, SoftmaxStrategy,
+};
+use resoftmax_analyzer::CERT_BUDGET_REL;
 use resoftmax_gpusim::DeviceSpec;
 
 /// A validated, ready-to-run inference configuration.
@@ -166,6 +170,26 @@ impl Session {
                 reason: "decode context length must be nonzero".to_owned(),
             });
         }
+        // Numerics gate, applied statically (the decode builder debug-asserts
+        // its own analysis, so an uncertifiable point must never reach it).
+        // Independent of the session-build gate: decode contexts are not
+        // bounded by the session's sequence length.
+        if let Some(bound) = crate::decode::decode_error_bound(ctxs, &self.params) {
+            if !bound.certifies(CERT_BUDGET_REL) {
+                return Err(Error::InvalidConfig {
+                    reason: format!(
+                        "strategy {} at T={} over decode context {} has certified \
+                         relative error bound {:.3e}, exceeding the {:.1e} budget; \
+                         use a narrower tile or an fp32-accumulation strategy",
+                        self.params.strategy.label(),
+                        self.params.tile.n,
+                        bound.ctx,
+                        bound.rel,
+                        CERT_BUDGET_REL,
+                    ),
+                });
+            }
+        }
         let schedule =
             crate::decode::build_batched_decode_schedule(&self.model, ctxs, &self.params);
         if self.analyze {
@@ -276,6 +300,35 @@ impl SessionBuilder {
                 "tile width {} must divide sequence length {}",
                 params.tile.n, params.seq_len
             ));
+        }
+        if params.strategy == SoftmaxStrategy::RecomposedFp16
+            && model.attention.is_sparse()
+            && !matches!(params.profile.sparse_support, SparseSupport::DenseFallback)
+        {
+            return invalid(format!(
+                "strategy SDF16 has no block-sparse implementation (no certified \
+                 bound exists for it); model '{}' needs a dense-fallback profile \
+                 or an fp32-accumulation strategy",
+                model.name
+            ));
+        }
+        // Numerics gate: reject combinations whose certified worst-case
+        // softmax error exceeds the budget the verify tolerances are derived
+        // from. Checked statically — `build_schedule` debug-asserts its own
+        // analysis, so an uncertifiable point must never reach the builder.
+        if let Some(bound) = static_error_bound(&model, &params) {
+            if !bound.certifies(CERT_BUDGET_REL) {
+                return invalid(format!(
+                    "strategy {} at T={} over L={} has certified relative error \
+                     bound {:.3e}, exceeding the {:.1e} budget; use a narrower \
+                     tile or an fp32-accumulation strategy",
+                    params.strategy.label(),
+                    params.tile.n,
+                    params.seq_len,
+                    bound.rel,
+                    CERT_BUDGET_REL,
+                ));
+            }
         }
         if let Some(on) = self.instrument {
             resoftmax_obs::set_trace_enabled(Some(on));
@@ -401,6 +454,56 @@ mod tests {
             dense.decode_batch(&[512, 0]),
             Err(Error::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn fp16_recomposition_gated_by_certified_bound() {
+        use resoftmax_kernels::costs::TileConfig;
+        // Uncertifiable at the default 64-wide tile: typed rejection.
+        let e = Session::builder()
+            .model(ModelConfig::bert_large())
+            .params(RunParams::new(4096))
+            .strategy(SoftmaxStrategy::RecomposedFp16)
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("certified"), "{e}");
+
+        // Certifiable at T=16: builds and runs.
+        let s = Session::builder()
+            .model(ModelConfig::bert_large())
+            .params(RunParams::new(4096).tile(TileConfig::new(64, 16)))
+            .strategy(SoftmaxStrategy::RecomposedFp16)
+            .build()
+            .unwrap();
+        assert!(s.run().unwrap().total_time_s() > 0.0);
+
+        // No block-sparse implementation exists: typed rejection, not the
+        // builder's panic.
+        let e = Session::builder()
+            .model(ModelConfig::bigbird_large())
+            .params(RunParams::new(4096).tile(TileConfig::new(64, 16)))
+            .strategy(SoftmaxStrategy::RecomposedFp16)
+            .build()
+            .unwrap_err();
+        assert!(e.to_string().contains("block-sparse"), "{e}");
+    }
+
+    #[test]
+    fn decode_numerics_gate_is_independent_of_session_length() {
+        use resoftmax_kernels::costs::TileConfig;
+        // T=32 certifies at the session's own length (bound ~1.90e-2)...
+        let s = Session::builder()
+            .model(ModelConfig::gpt_neo_1_3b())
+            .params(RunParams::new(1024).tile(TileConfig::new(64, 32)))
+            .strategy(SoftmaxStrategy::RecomposedFp16)
+            .build()
+            .unwrap();
+        assert!(s.decode_batch(&[1024]).is_ok());
+        // ...but a decode context long enough to push the inter-reduction
+        // term over budget is rejected before any schedule is built.
+        let e = s.decode_batch(&[1 << 24]).unwrap_err();
+        assert!(matches!(e, Error::InvalidConfig { .. }));
+        assert!(e.to_string().contains("certified"), "{e}");
     }
 
     #[test]

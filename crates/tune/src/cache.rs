@@ -21,8 +21,10 @@ use crate::search::SearchMode;
 use crate::space::SearchSpace;
 
 /// Format version of the persisted database. Bump on any change to the key
-/// derivation or entry layout.
-pub const CACHE_VERSION: u32 = 1;
+/// derivation or entry layout. v2: `RunParams` grew the `SDF16` strategy
+/// (fp16 LS accumulation) and the oracle a fourth (numeric-certification)
+/// gate — results tuned without it are not comparable.
+pub const CACHE_VERSION: u32 = 2;
 
 /// One tuned result: the winning configuration and both sides of the
 /// comparison that justified it.

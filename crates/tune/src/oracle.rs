@@ -1,26 +1,34 @@
 //! The cost oracle: legality pruning (static) + simulated execution time.
 //!
-//! Candidates pass through three gates, cheapest first:
+//! Candidates pass through four gates, cheapest first:
 //!
 //! 1. **Static knob legality** — an LS split that crosses the reduction
 //!    axis, a tile width that does not divide the sequence length, a
 //!    sequence length incompatible with a sparse model's block size. These
 //!    are rejected before any schedule is built.
-//! 2. **Static analysis** — the built schedule runs through
+//! 2. **Numeric certification** — the analyzer's error model bounds the
+//!    candidate's worst-case softmax error from `(strategy, T, ctx)` alone;
+//!    a bound exceeding [`resoftmax_analyzer::CERT_BUDGET_REL`] prunes the
+//!    candidate, again before any schedule exists. This is what makes
+//!    precision-diverse strategies (`SDF16`) safe to enumerate: the tuner
+//!    only ever prices them where the certificate holds.
+//! 3. **Static analysis** — the built schedule runs through
 //!    `resoftmax-analyzer`; any `Error`-severity diagnostic prunes the
 //!    candidate.
-//! 3. **Launchability** — the simulator refuses kernels whose thread block
+//! 4. **Launchability** — the simulator refuses kernels whose thread block
 //!    exceeds the device's SM resources.
 //!
-//! Only candidates clearing all three are priced; the price is the
+//! Only candidates clearing all four are priced; the price is the
 //! simulated end-to-end time of the workload's schedule, which is what the
 //! search minimizes.
 
 use crate::TuneError;
+use resoftmax_analyzer::{ErrorBound, CERT_BUDGET_REL};
 use resoftmax_gpusim::{DeviceSpec, Gpu, ParallelSplit};
 use resoftmax_model::{
     build_batched_decode_schedule, build_schedule, check_decode_schedule, check_schedule,
-    AttentionKind, ModelConfig, RunParams, Session, SoftmaxStrategy,
+    decode_error_bound, static_error_bound, AttentionKind, ModelConfig, RunParams, Session,
+    SoftmaxStrategy,
 };
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +96,9 @@ pub enum Skip {
     /// The declared LS split crosses the category's reduction axis; the
     /// analyzer would reject the schedule, so it is never built.
     IllegalSplit(ParallelSplit),
+    /// The certified worst-case numeric error of the candidate exceeds the
+    /// budget; the analyzer would reject the schedule, so it is never built.
+    Numerics(String),
     /// The built schedule fails static analysis.
     Analysis(String),
     /// A kernel cannot launch on the target device.
@@ -102,6 +113,7 @@ impl core::fmt::Display for Skip {
                 f,
                 "LS split {s:?} crosses the reduction axis (legal: {LEGAL_LS_SPLITS:?})"
             ),
+            Skip::Numerics(r) => write!(f, "numeric certification failed: {r}"),
             Skip::Analysis(r) => write!(f, "static analysis rejected the schedule: {r}"),
             Skip::Launch(r) => write!(f, "kernel cannot launch: {r}"),
         }
@@ -125,12 +137,28 @@ fn check_ls_split(params: &RunParams) -> Result<(), Skip> {
     }
 }
 
+/// The numerics gate: prunes a candidate whose statically certified error
+/// bound exceeds the budget. Like `check_ls_split`, this must run before
+/// any schedule is built — the builders debug-assert their own analysis,
+/// and the numerics rule is part of it.
+fn check_numerics(bound: Option<ErrorBound>) -> Result<(), Skip> {
+    match bound {
+        Some(b) if !b.certifies(CERT_BUDGET_REL) => Err(Skip::Numerics(format!(
+            "certified relative error bound {:.3e} exceeds the {CERT_BUDGET_REL:.1e} budget \
+             (ctx {}, T {})",
+            b.rel, b.ctx, b.t
+        ))),
+        _ => Ok(()),
+    }
+}
+
 /// Statically validates a full-sequence candidate without simulating it:
 /// knob legality, buildability, and a clean analyzer report. This is the
 /// same pruning helper the tuner's search uses; bench bins reuse it to
 /// skip-with-reason instead of panicking on bad grid points.
 pub fn precheck(model: &ModelConfig, params: &RunParams) -> Result<(), Skip> {
     check_ls_split(params)?;
+    check_numerics(static_error_bound(model, params))?;
     // Session::build performs the dimensional validation (nonzero dims,
     // sparse block size, tile divisibility) with typed errors.
     Session::builder()
@@ -175,6 +203,7 @@ pub fn precheck_decode(
     if params.tile.n == 0 {
         return Err(Skip::InvalidConfig("tile width must be nonzero".to_owned()));
     }
+    check_numerics(decode_error_bound(ctxs, params))?;
     let schedule = build_batched_decode_schedule(model, ctxs, params);
     let report = check_decode_schedule(model, ctxs, params, &schedule);
     if report.has_errors() {
@@ -367,5 +396,31 @@ mod tests {
         let sdf = base.clone().strategy(SoftmaxStrategy::Recomposed);
         let t2 = evaluate(&model, &device, &w, &sdf).unwrap();
         assert!(t2 > 0.0 && t2 != t);
+    }
+
+    /// The numerics gate prunes SDF16 statically where its certificate
+    /// fails (wide tiles), and prices it where the certificate holds
+    /// (narrow tiles) — never building a schedule for the rejected points.
+    #[test]
+    #[cfg_attr(miri, ignore = "builds full schedules; covered by native runs")]
+    fn numerics_gate_controls_fp16_recomposition() {
+        let model = ModelConfig::bert_base();
+        let device = DeviceSpec::a100();
+        let wide = RunParams::new(4096).strategy(SoftmaxStrategy::RecomposedFp16);
+        let e = precheck(&model, &wide).unwrap_err();
+        assert!(matches!(e, Skip::Numerics(_)), "{e}");
+        let narrow = wide.clone().tile(TileConfig::new(64, 16));
+        assert_eq!(precheck(&model, &narrow), Ok(()));
+        let w = TuneWorkload::Prefill {
+            seq_len: 4096,
+            batch: 1,
+        };
+        assert!(evaluate(&model, &device, &w, &narrow).unwrap() > 0.0);
+
+        // Decode: same gate, taken at the batch's longest context.
+        let m = ModelConfig::gpt_neo_1_3b();
+        let e = precheck_decode(&m, &[512], &wide).unwrap_err();
+        assert!(matches!(e, Skip::Numerics(_)), "{e}");
+        assert_eq!(precheck_decode(&m, &[512], &narrow), Ok(()));
     }
 }

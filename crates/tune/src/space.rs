@@ -6,7 +6,9 @@
 //!   sub-vector length `T` (§3.3 requires them equal, which the schedule
 //!   builder enforces by construction).
 //! * **Strategy** — monolithic baseline, decomposed (SD), recomposed (SDF),
-//!   or the fully fused online-softmax extension.
+//!   fp16-accumulation recomposed (SDF16, admissible only where the
+//!   oracle's numeric-certification gate holds), or the fully fused
+//!   online-softmax extension.
 //! * **LS split** — the declared [`ParallelSplit`] of standalone Local
 //!   Softmax kernels. Deliberately includes points the static analyzer
 //!   rejects (`ReductionAxis`), so the legality gate is exercised on every
@@ -34,9 +36,10 @@ pub struct SearchSpace {
 impl SearchSpace {
     /// The full search space: tile heights {32, 64, 128} × widths
     /// {16, 32, 64, 128, 256} (the §5.2 ablation range around the paper's
-    /// `T ≥ 64` observation) × all four strategies × every declarable LS
-    /// split — including the always-illegal `ReductionAxis`, which the
-    /// analyzer gate must prune.
+    /// `T ≥ 64` observation) × all five strategies × every declarable LS
+    /// split — including points a gate must prune: the always-illegal
+    /// `ReductionAxis` split (analyzer gate) and SDF16 at wide tiles
+    /// (numeric-certification gate).
     pub fn paper_default() -> Self {
         SearchSpace {
             tile_ms: vec![32, 64, 128],
@@ -45,6 +48,7 @@ impl SearchSpace {
                 SoftmaxStrategy::Baseline,
                 SoftmaxStrategy::Decomposed,
                 SoftmaxStrategy::Recomposed,
+                SoftmaxStrategy::RecomposedFp16,
                 SoftmaxStrategy::OnlineFused,
             ],
             ls_splits: vec![
@@ -67,6 +71,7 @@ impl SearchSpace {
                 SoftmaxStrategy::Baseline,
                 SoftmaxStrategy::Decomposed,
                 SoftmaxStrategy::Recomposed,
+                SoftmaxStrategy::RecomposedFp16,
                 SoftmaxStrategy::OnlineFused,
             ],
             ls_splits: vec![None, Some(ParallelSplit::ReductionAxis)],
@@ -124,7 +129,9 @@ impl SearchSpace {
 pub fn has_standalone_ls(strategy: SoftmaxStrategy, profile: &LibraryProfile) -> bool {
     match strategy {
         SoftmaxStrategy::Decomposed => true,
-        SoftmaxStrategy::Recomposed => profile.separate_scale_mask,
+        SoftmaxStrategy::Recomposed | SoftmaxStrategy::RecomposedFp16 => {
+            profile.separate_scale_mask
+        }
         SoftmaxStrategy::Baseline | SoftmaxStrategy::OnlineFused => false,
     }
 }
@@ -149,9 +156,9 @@ mod tests {
                 assert!(has_standalone_ls(c.strategy, &c.profile), "{c:?}");
             }
         }
-        // Smoke grid: base + 3 tiles × (Baseline 1 + SD 2 + SDF 1 + Online 1
-        // split variants) - 1 duplicate of base (Baseline 64×64).
-        assert_eq!(cands.len(), 15);
+        // Smoke grid: base + 3 tiles × (Baseline 1 + SD 2 + SDF 1 + SDF16 1
+        // + Online 1 split variants) - 1 duplicate of base (Baseline 64×64).
+        assert_eq!(cands.len(), 18);
     }
 
     #[test]
