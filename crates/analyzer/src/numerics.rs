@@ -7,7 +7,7 @@
 //! fully fused online attention — by the accumulator format its
 //! [`KernelMeta::accum`](resoftmax_gpusim::KernelMeta) declares. Each
 //! pipeline present in the stream is then bounded by the matching
-//! [`error_model`](crate::error_model) formula at the schedule's worst
+//! [`error_model`] formula at the schedule's worst
 //! context length, and the loosest bound becomes the schedule's certified
 //! [`ErrorBound`].
 //!

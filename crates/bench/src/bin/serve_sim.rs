@@ -73,6 +73,19 @@ fn main() {
         let par = serde_json::to_string(&parallel).expect("rows serialize");
         assert_eq!(ser, par, "serve rows must be identical at 1 vs 4 threads");
         println!("smoke: rows bit-identical at 1 and 4 worker threads");
+        // And the kernel-pricing cache — warm by now from the two legs
+        // above — must not perturb a single bit either (serving engines
+        // iterate many near-identical decode schedules, the cache's best
+        // case).
+        let warm = run_grid();
+        let wrm = serde_json::to_string(&warm).expect("rows serialize");
+        assert_eq!(ser, wrm, "serve rows must be identical with a warm cache");
+        let stats = resoftmax_gpusim::sim_cache_stats();
+        println!(
+            "smoke: warm-cache leg bit-identical (pricing cache: {} entries, \
+             {} hits, {} misses, {} event steps saved)",
+            stats.kernel_entries, stats.hits, stats.misses, stats.steps_saved
+        );
         serial
     } else {
         run_grid()

@@ -1,0 +1,120 @@
+//! The `sim_speed` experiment: how much simulation work the cross-run
+//! kernel-pricing cache removes from the `tune --smoke` grid.
+//!
+//! ```text
+//! cargo run --release -p resoftmax-bench --bin sim_speed [-- --out BENCH_simcache.json]
+//! ```
+//!
+//! Three legs replay the identical smoke grid with a fresh in-memory tuner
+//! each time:
+//!
+//! 1. **cache off** — every kernel priced by fresh event-driven simulation;
+//! 2. **cache on, cold** — first encounter of each fingerprint simulates
+//!    fresh and memoizes it;
+//! 3. **cache on, warm** — every kernel answers from the cache in O(lookup).
+//!
+//! The legs must produce bit-identical `BenchRow`s (the cache's bit-identity
+//! contract), and the warm leg must run at least 10× fewer fresh event
+//! steps than the cache-off leg — both asserted here, so CI fails if the
+//! cache stops being transparent or stops saving work. The step counts,
+//! wall times, and cache statistics go to `BENCH_simcache.json`.
+
+use std::time::Instant;
+
+use resoftmax_bench::{run_grid, write_report, BenchArgs, BenchRow};
+use resoftmax_gpusim::{clear_sim_cache, set_sim_cache_enabled, sim_cache_stats, DeviceSpec};
+use resoftmax_tune::{SearchMode, SearchSpace, Tuner};
+
+/// Replays the smoke grid on a fresh in-memory tuner, returning the report
+/// rows, the fresh event steps the leg ran, and its wall time in seconds.
+fn leg(device: &DeviceSpec) -> (Vec<BenchRow>, u64, f64) {
+    let tuner = Tuner::new(SearchSpace::smoke(), SearchMode::Exhaustive);
+    let steps0 = resoftmax_obs::counter("sim.event_steps").get();
+    let start = Instant::now();
+    let (rows, _) = run_grid(&tuner, device, true);
+    let wall_s = start.elapsed().as_secs_f64();
+    let steps = resoftmax_obs::counter("sim.event_steps").get() - steps0;
+    (rows, steps, wall_s)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let out = args.out_or("BENCH_simcache.json");
+    let device = resoftmax_bench::device_from_args(&args.rest);
+    // `sim.event_steps` (and the `sim.cache.*` mirrors) are behind the
+    // metrics switch; this binary exists to measure them.
+    resoftmax_obs::set_metrics_enabled(Some(true));
+
+    set_sim_cache_enabled(Some(false));
+    let (rows_off, steps_off, wall_off) = leg(&device);
+
+    set_sim_cache_enabled(Some(true));
+    clear_sim_cache();
+    let (rows_cold, steps_cold, wall_cold) = leg(&device);
+    let (rows_warm, steps_warm, wall_warm) = leg(&device);
+    set_sim_cache_enabled(None);
+
+    // Bit-identity: the cache must never change a single reported number.
+    let json_off = serde_json::to_string(&rows_off).expect("rows serialize");
+    for (rows, label) in [(&rows_cold, "cold"), (&rows_warm, "warm")] {
+        assert_eq!(
+            json_off,
+            serde_json::to_string(rows).expect("rows serialize"),
+            "{label}-cache rows diverge from cache-off rows"
+        );
+    }
+    println!("rows bit-identical across cache-off, cold, and warm legs");
+
+    // The acceptance bar: a warm cache prices the whole grid with at least
+    // 10× fewer fresh event steps than simulating everything.
+    assert!(steps_off > 0, "smoke grid ran no event-driven simulation");
+    assert!(
+        steps_warm.saturating_mul(10) <= steps_off,
+        "warm cache saved too little: {steps_warm} steps vs {steps_off} without the cache"
+    );
+
+    let stats = sim_cache_stats();
+    println!(
+        "event steps: {steps_off} off / {steps_cold} cold / {steps_warm} warm \
+         ({:.1}x fewer warm)",
+        steps_off as f64 / (steps_warm.max(1)) as f64
+    );
+    println!("wall: {wall_off:.2}s off / {wall_cold:.2}s cold / {wall_warm:.2}s warm");
+    println!(
+        "cache: {} kernel entries, {} hits, {} misses, {} steps saved",
+        stats.kernel_entries, stats.hits, stats.misses, stats.steps_saved
+    );
+
+    let config = format!("smoke-grid/{}", device.name);
+    let mut rows = vec![
+        BenchRow::new(
+            "sim_speed",
+            &config,
+            "event_steps_cache_off",
+            steps_off as f64,
+        ),
+        BenchRow::new("sim_speed", &config, "event_steps_cold", steps_cold as f64),
+        BenchRow::new("sim_speed", &config, "event_steps_warm", steps_warm as f64),
+        BenchRow::new(
+            "sim_speed",
+            &config,
+            "step_reduction_warm",
+            steps_off as f64 / (steps_warm.max(1)) as f64,
+        ),
+        BenchRow::new("sim_speed", &config, "wall_s_cache_off", wall_off),
+        BenchRow::new("sim_speed", &config, "wall_s_cold", wall_cold),
+        BenchRow::new("sim_speed", &config, "wall_s_warm", wall_warm),
+    ];
+    rows.extend([
+        BenchRow::new("sim_speed", &config, "cache_hits", stats.hits as f64),
+        BenchRow::new("sim_speed", &config, "cache_misses", stats.misses as f64),
+        BenchRow::new(
+            "sim_speed",
+            &config,
+            "cache_steps_saved",
+            stats.steps_saved as f64,
+        ),
+    ]);
+    write_report(&out, &rows);
+    resoftmax_obs::set_metrics_enabled(None);
+}

@@ -83,8 +83,10 @@ fn grid(smoke: bool) -> Vec<(ModelConfig, TuneWorkload)> {
 }
 
 /// Tunes the whole grid with `tuner`, verifying per-bucket invariants and
-/// returning the report rows (deterministic order and content).
-fn run_grid(tuner: &Tuner, device: &DeviceSpec, smoke: bool) -> (Vec<BenchRow>, Vec<Tuned>) {
+/// returning the report rows (deterministic order and content). Exposed so
+/// the `sim_speed` bin can replay the exact `tune --smoke` workload under
+/// different pricing-cache configurations.
+pub fn run_grid(tuner: &Tuner, device: &DeviceSpec, smoke: bool) -> (Vec<BenchRow>, Vec<Tuned>) {
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for (model, workload) in grid(smoke) {
@@ -193,6 +195,11 @@ pub fn tune_main() {
          (database: {TUNE_CACHE_PATH})",
         tuner.entries(),
         resoftmax_obs::counter("tune.cache_misses").get(),
+    );
+    println!(
+        "transfer: {} cross-device winners harvested, {} survived precheck",
+        resoftmax_obs::counter("tune.transfer_candidates").get(),
+        resoftmax_obs::counter("tune.transfer_survivors").get(),
     );
     write_report(&out, &rows);
     crate::write_trace_if_enabled();

@@ -105,8 +105,9 @@ mod tests {
     use crate::kernel::{KernelDesc, TbShape, TbWork};
     use crate::sim::Gpu;
 
-    fn timeline(kernels: &[(&str, KernelCategory, f64)]) -> Timeline {
+    fn timeline_with_cache(kernels: &[(&str, KernelCategory, f64)], cache: bool) -> Timeline {
         let mut gpu = Gpu::new(DeviceSpec::a100());
+        gpu.set_sim_cache(cache);
         for (name, cat, mb) in kernels {
             let k = KernelDesc::builder(*name, *cat)
                 .shape(TbShape::new(256, 0, 32))
@@ -115,6 +116,10 @@ mod tests {
             gpu.launch(&k).unwrap();
         }
         gpu.into_timeline()
+    }
+
+    fn timeline(kernels: &[(&str, KernelCategory, f64)]) -> Timeline {
+        timeline_with_cache(kernels, true)
     }
 
     #[test]
@@ -150,6 +155,37 @@ mod tests {
         assert!((r.traffic_ratio - 1.0).abs() < 1e-12);
         assert!((r.energy_ratio - 1.0).abs() < 1e-12);
         assert_eq!(r.deltas[0].time_saved_s(), 0.0);
+    }
+
+    #[test]
+    fn reports_identical_with_cache_on_and_off() {
+        let cells = [
+            ("qk", KernelCategory::MatMulQk, 100.0),
+            ("softmax", KernelCategory::Softmax, 200.0),
+            ("pv", KernelCategory::MatMulPv, 100.0),
+        ];
+        let variant_cells = [
+            ("qk+ls", KernelCategory::MatMulQk, 130.0),
+            ("gs+pv", KernelCategory::MatMulPv, 130.0),
+        ];
+        // Three legs of the same comparison: cache off, cache on (possibly
+        // cold), cache on again (warm — everything the second leg priced is
+        // now memoized). Reports must agree to the bit.
+        let reports: Vec<ComparisonReport> = [false, true, true]
+            .into_iter()
+            .map(|cache| {
+                compare(
+                    &timeline_with_cache(&cells, cache),
+                    &timeline_with_cache(&variant_cells, cache),
+                )
+            })
+            .collect();
+        let json: Vec<String> = reports
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("report serializes"))
+            .collect();
+        assert_eq!(json[0], json[1], "cache-on report diverges from cache-off");
+        assert_eq!(json[1], json[2], "warm-cache report diverges");
     }
 
     #[test]

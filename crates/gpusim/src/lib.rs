@@ -17,6 +17,11 @@
 //!   exposing load imbalance and tail waves.
 //! * **Accounting** ([`Timeline`] / [`Breakdown`]): per-kernel time, traffic
 //!   and energy aggregated per category, mirroring the paper's figures.
+//! * **Pricing cache** ([`sim_cache_stats`] / [`set_sim_cache_enabled`]): a
+//!   process-global, content-addressed memo of kernel durations and
+//!   wave-class dt sequences — repeated kernels anywhere (tuner candidates,
+//!   serve iterations, sweeps) price in O(lookup) with bit-identical
+//!   timelines. `RESOFTMAX_SIM_CACHE=0` disables it.
 //!
 //! # Example
 //!
@@ -45,6 +50,7 @@ mod device;
 mod kernel;
 mod l2;
 mod occupancy;
+mod pricing;
 pub mod roofline;
 mod sim;
 mod trace;
@@ -56,5 +62,9 @@ pub use kernel::{
 };
 pub use l2::{FilteredTraffic, L2Cache};
 pub use occupancy::{occupancy, LaunchError, Occupancy, OccupancyLimiter};
+pub use pricing::{
+    clear_sim_cache, set_sim_cache_enabled, sim_cache_enabled, sim_cache_stats, SimCacheStats,
+    MAX_CLASS_ENTRIES, MAX_KERNEL_ENTRIES,
+};
 pub use sim::Gpu;
 pub use trace::{Breakdown, CategoryTotals, KernelStats, Timeline};

@@ -21,7 +21,9 @@ use crate::device::DeviceSpec;
 use crate::kernel::{KernelDesc, TbGroup, TbSet, TbWork};
 use crate::l2::{FilteredTraffic, L2Cache};
 use crate::occupancy::{occupancy, LaunchError, Occupancy};
+use crate::pricing::{self, GridRef, KernelPrice};
 use crate::trace::{KernelStats, Timeline};
+use std::sync::Arc;
 
 /// Residual work below this is treated as finished (guards FP residues left
 /// by the `(work - rate * dt).max(0.0)` decrements).
@@ -82,20 +84,25 @@ impl Active {
 #[derive(Debug, Clone)]
 pub struct Gpu {
     device: DeviceSpec,
+    device_fp: u128,
     l2: L2Cache,
     timeline: Timeline,
     wave_fast_path: bool,
+    sim_cache: bool,
 }
 
 impl Gpu {
     /// Creates a GPU with cold caches and an empty timeline.
     pub fn new(device: DeviceSpec) -> Self {
         let l2 = L2Cache::new(device.l2_bytes());
+        let device_fp = pricing::device_fingerprint(&device);
         Gpu {
             device,
+            device_fp,
             l2,
             timeline: Timeline::new(),
             wave_fast_path: true,
+            sim_cache: true,
         }
     }
 
@@ -107,6 +114,16 @@ impl Gpu {
     /// toggle exists so that equivalence stays checkable.
     pub fn set_wave_fast_path(&mut self, enabled: bool) {
         self.wave_fast_path = enabled;
+    }
+
+    /// Enables or disables this instance's use of the process-global
+    /// kernel-pricing cache (on by default; see [`crate::sim_cache_enabled`]
+    /// for the process-wide switch — both must be on for caching to apply).
+    /// The toggle exists for the same reason as [`Self::set_wave_fast_path`]:
+    /// cached and fresh pricing are bit-identical, and tests compare the two
+    /// in one process to keep that equivalence checkable.
+    pub fn set_sim_cache(&mut self, enabled: bool) {
+        self.sim_cache = enabled;
     }
 
     /// The device being simulated.
@@ -167,16 +184,51 @@ impl Gpu {
             1.0
         };
 
-        let time_s = match &kernel.tbs {
-            TbSet::Uniform { count, work } => {
-                self.uniform_time(*count, work, kernel.shape.threads, read_scale, occ)
-            }
+        // Canonical grid form: `PerTb` coalesces to the exact group sequence
+        // the fluid simulation walks, so it shares pricing fingerprints with
+        // its equivalent `Grouped` form.
+        let coalesced: Vec<TbGroup>;
+        let grid = match &kernel.tbs {
+            TbSet::Uniform { count, work } => GridRef::Uniform {
+                count: *count,
+                work,
+            },
             TbSet::PerTb(tbs) => {
-                let groups = coalesce(tbs);
-                self.fluid_time(&groups, kernel, read_scale, occ)
+                coalesced = coalesce(tbs);
+                GridRef::Groups(&coalesced)
             }
-            TbSet::Grouped(groups) => self.fluid_time(groups, kernel, read_scale, occ),
-        } + self.device.kernel_launch_overhead_us * 1e-6;
+            TbSet::Grouped(groups) => GridRef::Groups(groups),
+        };
+
+        let use_cache = self.sim_cache && pricing::sim_cache_enabled();
+        let exec_s = if use_cache {
+            let key = pricing::kernel_key(
+                self.device_fp,
+                self.wave_fast_path,
+                &kernel.shape,
+                occ.tbs_per_sm,
+                read_scale,
+                grid,
+            );
+            if let Some(price) = pricing::lookup_kernel(key) {
+                price.time_s
+            } else {
+                let (t, event_steps, fast_path_waves) =
+                    self.execute_time(kernel, grid, read_scale, occ, true);
+                pricing::insert_kernel(
+                    key,
+                    KernelPrice {
+                        time_s: t,
+                        event_steps,
+                        fast_path_waves,
+                    },
+                );
+                t
+            }
+        } else {
+            self.execute_time(kernel, grid, read_scale, occ, false).0
+        };
+        let time_s = exec_s + self.device.kernel_launch_overhead_us * 1e-6;
 
         let flops = kernel.tbs.total_flops();
         let dram_bytes = traffic.dram_read_bytes + traffic.dram_write_bytes;
@@ -215,6 +267,30 @@ impl Gpu {
             self.launch(k)?;
         }
         Ok(())
+    }
+
+    /// Prices one kernel fresh (excluding launch overhead), returning the
+    /// duration plus the event-step / fast-path-wave counts performed —
+    /// recorded in the pricing cache so later hits can account for the
+    /// stepping they avoid.
+    fn execute_time(
+        &self,
+        kernel: &KernelDesc,
+        grid: GridRef<'_>,
+        read_scale: f64,
+        occ: Occupancy,
+        use_class_cache: bool,
+    ) -> (f64, u64, u64) {
+        match grid {
+            GridRef::Uniform { count, work } => (
+                self.uniform_time(count, work, kernel.shape.threads, read_scale, occ),
+                0,
+                0,
+            ),
+            GridRef::Groups(groups) => {
+                self.fluid_time(groups, kernel, read_scale, occ, use_class_cache)
+            }
+        }
     }
 
     /// Wave-analytic duration of a uniform grid (excluding launch overhead).
@@ -279,13 +355,18 @@ impl Gpu {
     /// dispatch limit without tracking individual SMs. DRAM bandwidth is a
     /// global pool split proportionally to each block's memory-active thread
     /// count and scaled by the utilization model.
+    ///
+    /// Returns `(duration, event_steps, fast_path_waves)`; the step count
+    /// covers only freshly stepped events (wave-class replays — whether from
+    /// this kernel's own fast path or the cross-run dt cache — are excluded).
     fn fluid_time(
         &self,
         groups: &[TbGroup],
         kernel: &KernelDesc,
         read_scale: f64,
         occ: Occupancy,
-    ) -> f64 {
+        use_class_cache: bool,
+    ) -> (f64, u64, u64) {
         let threads = f64::from(kernel.shape.threads);
         let slots = (self.device.num_sms as u64 * occ.tbs_per_sm as u64).max(1);
 
@@ -322,16 +403,40 @@ impl Gpu {
                         if full_waves == 0 {
                             break;
                         }
-                        let mut wave = vec![wave_tb.with_count(slots as f64)];
-                        let mut wave_in_flight = slots;
-                        let mut dts = Vec::new();
-                        while !wave.is_empty() {
-                            dts.push(self.event_step(&mut wave, &mut wave_in_flight));
-                        }
-                        event_steps += dts.len() as u64;
+                        // Cross-run reuse: one full wave of this TB class is a
+                        // pure function of (device, threads, slots, read
+                        // scale, work), so its exactly stepped dt sequence can
+                        // come from the global cache — the replay below is the
+                        // same additions in the same order either way.
+                        let class_key = use_class_cache.then(|| {
+                            pricing::class_key(
+                                self.device_fp,
+                                kernel.shape.threads,
+                                slots,
+                                read_scale,
+                                &front.work,
+                            )
+                        });
+                        let cached = class_key.and_then(pricing::lookup_class);
+                        let dts = if let Some(dts) = cached {
+                            dts
+                        } else {
+                            let mut wave = vec![wave_tb.with_count(slots as f64)];
+                            let mut wave_in_flight = slots;
+                            let mut dts = Vec::new();
+                            while !wave.is_empty() {
+                                dts.push(self.event_step(&mut wave, &mut wave_in_flight));
+                            }
+                            event_steps += dts.len() as u64;
+                            let dts = Arc::new(dts);
+                            if let Some(key) = class_key {
+                                pricing::insert_class(key, Arc::clone(&dts));
+                            }
+                            dts
+                        };
                         fast_path_waves += full_waves;
                         for _ in 0..full_waves {
-                            for &dt in &dts {
+                            for &dt in dts.iter() {
                                 now += dt;
                             }
                         }
@@ -372,7 +477,7 @@ impl Gpu {
             resoftmax_obs::counter("sim.event_steps").add(event_steps);
             resoftmax_obs::counter("sim.wave_fast_path_waves").add(fast_path_waves);
         }
-        now
+        (now, event_steps, fast_path_waves)
     }
 
     /// One event of the fluid simulation: computes per-block rates for the

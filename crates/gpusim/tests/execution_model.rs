@@ -2,6 +2,8 @@
 //! expectations: roofline identities, wave quantization, bandwidth sharing,
 //! load imbalance, and L2 forwarding effects on kernel time.
 
+#![cfg(not(miri))] // event-driven sims are far too slow under miri
+
 use resoftmax_gpusim::{DeviceSpec, Gpu, KernelCategory, KernelDesc, TbShape, TbWork};
 
 fn a100() -> DeviceSpec {

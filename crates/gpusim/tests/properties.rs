@@ -1,6 +1,8 @@
 //! Property-based tests of the execution model: monotonicity, conservation,
 //! and bound properties that must hold for any kernel.
 
+#![cfg(not(miri))] // event-driven sims are far too slow under miri
+
 use proptest::prelude::*;
 use resoftmax_gpusim::{
     occupancy, DeviceSpec, Gpu, KernelCategory, KernelDesc, TbGroup, TbShape, TbWork,

@@ -1,26 +1,55 @@
-//! Bit-identity tests for the wave-class fast path: `Gpu::launch` must
-//! produce exactly the same `KernelStats` whether the fast path is enabled
-//! (the default) or disabled, for homogeneous grids, heterogeneous tails,
-//! zero-work blocks, and mixed compute/memory work.
+//! Bit-identity tests for the execution shortcuts: `Gpu::launch` must
+//! produce exactly the same `KernelStats` whether the wave-class fast path
+//! is enabled (the default) or disabled, and whether the cross-run pricing
+//! cache is enabled (the default) or disabled — for homogeneous grids,
+//! heterogeneous tails, zero-work blocks, and mixed compute/memory work.
 
-use resoftmax_gpusim::{DeviceSpec, Gpu, KernelCategory, KernelDesc, TbShape, TbWork};
+#![cfg(not(miri))] // event-driven sims are far too slow under miri
 
-/// Launches `kernels` in order on two fresh GPUs — fast path on vs off —
-/// and asserts every per-kernel stat is bit-identical.
-fn assert_paths_identical(device: DeviceSpec, kernels: &[KernelDesc]) {
-    let mut fast = Gpu::new(device.clone());
-    let mut slow = Gpu::new(device);
-    slow.set_wave_fast_path(false);
-    for k in kernels {
-        let sf = fast.launch(k).expect("fast launch");
-        let ss = slow.launch(k).expect("slow launch");
-        assert_eq!(sf, ss, "stats diverge for kernel {:?}", k.name);
+use resoftmax_gpusim::{DeviceSpec, Gpu, KernelCategory, KernelDesc, KernelStats, TbShape, TbWork};
+
+/// Launches `kernels` in order on a fresh GPU with the given shortcut
+/// toggles, returning per-kernel stats and the timeline total.
+fn run(
+    device: &DeviceSpec,
+    kernels: &[KernelDesc],
+    fast: bool,
+    cache: bool,
+) -> (Vec<KernelStats>, f64) {
+    let mut gpu = Gpu::new(device.clone());
+    gpu.set_wave_fast_path(fast);
+    gpu.set_sim_cache(cache);
+    let stats = kernels
+        .iter()
+        .map(|k| gpu.launch(k).expect("launch"))
+        .collect();
+    let total = gpu.timeline().total_time_s();
+    (stats, total)
+}
+
+/// Runs `kernels` through the whole {fast path} × {pricing cache} matrix —
+/// plus a warm repeat of the fully-enabled configuration, which answers from
+/// the global cache populated by the earlier legs — and asserts every
+/// per-kernel stat and timeline total is bit-identical to the reference
+/// (both shortcuts off).
+fn assert_paths_identical(device: &DeviceSpec, kernels: &[KernelDesc]) {
+    let (ref_stats, ref_total) = run(device, kernels, false, false);
+    for (fast, cache, leg) in [
+        (true, false, "fast path"),
+        (false, true, "cache"),
+        (true, true, "fast path + cache"),
+        (true, true, "fast path + warm cache"),
+    ] {
+        let (stats, total) = run(device, kernels, fast, cache);
+        for (s, r) in stats.iter().zip(&ref_stats) {
+            assert_eq!(s, r, "stats diverge on {leg} for kernel {:?}", r.name);
+        }
+        assert_eq!(
+            total.to_bits(),
+            ref_total.to_bits(),
+            "timeline totals diverge on {leg}"
+        );
     }
-    assert_eq!(
-        fast.timeline().total_time_s().to_bits(),
-        slow.timeline().total_time_s().to_bits(),
-        "timeline totals diverge"
-    );
 }
 
 fn memory_kernel(name: &str, count: u64, bytes: f64) -> KernelDesc {
@@ -35,7 +64,7 @@ fn memory_kernel(name: &str, count: u64, bytes: f64) -> KernelDesc {
 fn homogeneous_many_waves() {
     for count in [1, 7, 216, 217, 5000, 100_000] {
         assert_paths_identical(
-            DeviceSpec::a100(),
+            &DeviceSpec::a100(),
             &[memory_kernel("uniform", count, 64_000.0)],
         );
     }
@@ -56,7 +85,7 @@ fn homogeneous_compute_and_mixed() {
         .shape(TbShape::new(512, 48 * 1024, 32))
         .uniform(10_000, mixed)
         .build();
-    assert_paths_identical(DeviceSpec::a100(), &[k]);
+    assert_paths_identical(&DeviceSpec::a100(), &[k]);
 }
 
 /// Heterogeneous per-TB grids never qualify for the fast path as a whole,
@@ -71,7 +100,7 @@ fn heterogeneous_tail() {
         .shape(TbShape::new(1024, 0, 32))
         .per_tb(tbs)
         .build();
-    assert_paths_identical(DeviceSpec::a100(), &[k]);
+    assert_paths_identical(&DeviceSpec::a100(), &[k]);
 }
 
 /// Zero-work blocks interleaved with real work retire instantly on both paths.
@@ -84,13 +113,13 @@ fn zero_work_groups() {
         .shape(TbShape::new(128, 0, 16))
         .per_tb(tbs)
         .build();
-    assert_paths_identical(DeviceSpec::a100(), &[k]);
+    assert_paths_identical(&DeviceSpec::a100(), &[k]);
 
     let all_zero = KernelDesc::builder("all-zero", KernelCategory::Other)
         .shape(TbShape::new(128, 0, 16))
         .per_tb(vec![TbWork::default(); 5000])
         .build();
-    assert_paths_identical(DeviceSpec::a100(), &[all_zero]);
+    assert_paths_identical(&DeviceSpec::a100(), &[all_zero]);
 }
 
 /// A sequence of kernels with L2 reuse between them: the shared cache state
@@ -108,13 +137,13 @@ fn l2_interaction_sequence() {
         .uniform(20_000, TbWork::memory(small as f64 / 20_000.0, 0.0))
         .reads("r'", small)
         .build();
-    assert_paths_identical(DeviceSpec::a100(), &[producer, consumer]);
+    assert_paths_identical(&DeviceSpec::a100(), &[producer, consumer]);
 }
 
 /// The equivalence holds across device specs (different slot counts).
 #[test]
 fn across_devices() {
     for device in [DeviceSpec::a100(), DeviceSpec::t4(), DeviceSpec::rtx3090()] {
-        assert_paths_identical(device, &[memory_kernel("dev", 12_345, 80_000.0)]);
+        assert_paths_identical(&device, &[memory_kernel("dev", 12_345, 80_000.0)]);
     }
 }

@@ -23,8 +23,9 @@ use crate::space::SearchSpace;
 /// Format version of the persisted database. Bump on any change to the key
 /// derivation or entry layout. v2: `RunParams` grew the `SDF16` strategy
 /// (fp16 LS accumulation) and the oracle a fourth (numeric-certification)
-/// gate — results tuned without it are not comparable.
-pub const CACHE_VERSION: u32 = 2;
+/// gate — results tuned without it are not comparable. v3: entries record
+/// the device they were tuned on, enabling cross-device winner transfer.
+pub const CACHE_VERSION: u32 = 3;
 
 /// One tuned result: the winning configuration and both sides of the
 /// comparison that justified it.
@@ -37,6 +38,9 @@ pub struct CacheEntry {
     /// Simulated time of the default ([`RunParams::default`]-derived)
     /// schedule for the same workload, seconds.
     pub default_cost_s: f64,
+    /// Name of the device the result was tuned on (matches the `dev=`
+    /// segment of its key) — the provenance label for transferred seeds.
+    pub device: String,
 }
 
 /// The tuning database: versioned, ordered (deterministic serialization).
@@ -87,6 +91,34 @@ impl TuneDb {
         let json = serde_json::to_string_pretty(self).expect("tuning database serializes");
         std::fs::write(path, format!("{json}\n"))
     }
+
+    /// Cached winners for the *same question on a different device*: every
+    /// entry whose key matches `key` in all segments except `dev=`. These
+    /// are the transfer seeds a cache miss harvests — a schedule that won on
+    /// one device is a strong starting hypothesis on another, and because
+    /// seeds only ever *join* a search (they never replace it), a bad
+    /// transfer costs one extra pricing, not a wrong answer.
+    pub fn foreign_winners(&self, key: &str) -> Vec<(&String, &CacheEntry)> {
+        let Some(agnostic) = device_agnostic_key(key) else {
+            return Vec::new();
+        };
+        self.entries
+            .iter()
+            .filter(|(k, _)| {
+                k.as_str() != key && device_agnostic_key(k).as_deref() == Some(&*agnostic)
+            })
+            .collect()
+    }
+}
+
+/// Strips the `dev=<name>` segment from a cache key, leaving the
+/// device-independent question. Returns `None` for keys without one (which
+/// therefore never participate in transfer).
+fn device_agnostic_key(key: &str) -> Option<String> {
+    let start = key.find("|dev=")?;
+    let rest = &key[start + "|dev=".len()..];
+    let end = rest.find('|')?;
+    Some(format!("{}{}", &key[..start], &rest[end..]))
 }
 
 /// FNV-1a 64-bit hash rendered as fixed-width hex — used to keep the
@@ -143,6 +175,7 @@ mod tests {
             params: RunParams::new(1024).strategy(SoftmaxStrategy::Recomposed),
             cost_s: 0.5,
             default_cost_s: 1.0,
+            device: "a100".to_owned(),
         }
     }
 
@@ -213,6 +246,46 @@ mod tests {
                 &bucket,
             )
         );
+    }
+
+    /// `foreign_winners` must return exactly the entries that answer the
+    /// same question on another device — not the querying key itself, and
+    /// not entries differing in any non-device segment.
+    #[test]
+    fn foreign_winners_match_on_everything_but_device() {
+        let space = SearchSpace::smoke();
+        let mode = SearchMode::Exhaustive;
+        let bucket = TuneWorkload::Prefill {
+            seq_len: 1024,
+            batch: 1,
+        };
+        let prof = LibraryProfile::ours_baseline();
+        let model = ModelConfig::bert_large();
+        let on = |dev: &DeviceSpec| cache_key(&model, dev, &prof, &space, &mode, &bucket);
+        let t4_key = on(&DeviceSpec::t4());
+        let a100_key = on(&DeviceSpec::a100());
+        let other_wl = cache_key(
+            &model,
+            &DeviceSpec::a100(),
+            &prof,
+            &space,
+            &mode,
+            &TuneWorkload::Prefill {
+                seq_len: 2048,
+                batch: 1,
+            },
+        );
+
+        let mut db = TuneDb::new();
+        db.entries.insert(t4_key.clone(), entry());
+        db.entries.insert(a100_key.clone(), entry());
+        db.entries.insert(other_wl, entry());
+
+        let winners = db.foreign_winners(&t4_key);
+        assert_eq!(winners.len(), 1, "exactly the a100 twin transfers");
+        assert_eq!(winners[0].0, &a100_key);
+        // A key with no dev= segment participates in nothing.
+        assert!(db.foreign_winners("no-device-segment").is_empty());
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! * [`Tuner`] — orchestrates searches and caches answers in a versioned
 //!   JSON [`TuneDb`], keyed by model × device × profile × workload bucket ×
 //!   space/mode fingerprints. Cache traffic shows up on the always-on
-//!   counters `tune.cache_hits` / `tune.cache_misses`.
+//!   counters `tune.cache_hits` / `tune.cache_misses`; a miss seeds its
+//!   search with winners cached for the same question on *other* devices
+//!   (`tune.transfer_candidates` / `tune.transfer_survivors`).
 //! * [`SessionTuneExt`] / [`SessionBuilderTuneExt`] — `.tuned(&tuner)` on a
 //!   session or builder.
 //! * [`TunedPlanner`] — a [`resoftmax_serve::IterationPlanner`] that serves

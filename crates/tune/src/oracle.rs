@@ -31,6 +31,7 @@ use resoftmax_model::{
     SoftmaxStrategy,
 };
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// A workload bucket the tuner optimizes for: one full-sequence inference
 /// iteration, or one continuous-batching engine iteration (the serving
@@ -212,10 +213,27 @@ pub fn precheck_decode(
     Ok(())
 }
 
+thread_local! {
+    /// One reusable simulator per worker thread. A search prices hundreds of
+    /// candidates, and building `Gpu::new(device.clone())` for every one
+    /// churns a fresh device spec, L2 model, and timeline per candidate;
+    /// instead each worker keeps its `Gpu` and [`Gpu::reset`]s it between
+    /// candidates (L2 flushed, timeline cleared) — the exact state a fresh
+    /// construction would start from, so pricing stays bit-identical.
+    static ORACLE_GPU: RefCell<Option<Gpu>> = const { RefCell::new(None) };
+}
+
 fn simulate(device: &DeviceSpec, schedule: &[resoftmax_gpusim::KernelDesc]) -> Result<f64, Skip> {
-    let mut gpu = Gpu::new(device.clone());
-    gpu.run(schedule).map_err(|e| Skip::Launch(e.to_string()))?;
-    Ok(gpu.take_timeline().total_time_s())
+    ORACLE_GPU.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.as_ref().is_none_or(|gpu| gpu.device() != device) {
+            *slot = Some(Gpu::new(device.clone()));
+        }
+        let gpu = slot.as_mut().expect("just installed");
+        gpu.reset();
+        gpu.run(schedule).map_err(|e| Skip::Launch(e.to_string()))?;
+        Ok(gpu.take_timeline().total_time_s())
+    })
 }
 
 /// Prices one candidate for one workload: prune through the static gates,

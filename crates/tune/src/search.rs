@@ -110,6 +110,13 @@ fn argmin(costs: &[Result<f64, Skip>]) -> Option<(usize, f64)> {
 /// Runs one search for `workload`, starting from (and always including)
 /// `base` — so the outcome can never be slower than the default schedule.
 ///
+/// `seeds` are extra starting points beyond the default — typically winners
+/// transferred from another device's cached result for the same question.
+/// Exhaustive search appends them to the enumeration (deduplicated, so
+/// seeds already in the space change nothing); annealed search prices them
+/// alongside `base` before round 0 and starts the walk from the cheapest.
+/// An empty slice reproduces the unseeded search bit for bit.
+///
 /// # Errors
 ///
 /// [`TuneError::DefaultUnrunnable`] when the default configuration itself
@@ -121,16 +128,17 @@ pub fn search(
     space: &SearchSpace,
     mode: &SearchMode,
     base: &RunParams,
+    seeds: &[RunParams],
 ) -> Result<SearchOutcome, TuneError> {
     let _span = resoftmax_obs::span("tune.search", "tune");
     match mode {
-        SearchMode::Exhaustive => exhaustive(model, device, workload, space, base),
+        SearchMode::Exhaustive => exhaustive(model, device, workload, space, base, seeds),
         SearchMode::Annealed {
             seed,
             rounds,
             proposals,
         } => annealed(
-            model, device, workload, space, base, *seed, *rounds, *proposals,
+            model, device, workload, space, base, seeds, *seed, *rounds, *proposals,
         ),
     }
 }
@@ -141,8 +149,14 @@ fn exhaustive(
     workload: &TuneWorkload,
     space: &SearchSpace,
     base: &RunParams,
+    seeds: &[RunParams],
 ) -> Result<SearchOutcome, TuneError> {
-    let candidates = space.candidates(base);
+    let mut candidates = space.candidates(base);
+    for seed in seeds {
+        if !candidates.contains(seed) {
+            candidates.push(seed.clone());
+        }
+    }
     let costs = price_all(model, device, workload, &candidates);
     let default_cost_s = match &costs[0] {
         Ok(c) => *c,
@@ -186,24 +200,35 @@ fn mutate(current: &RunParams, space: &SearchSpace, rng: &mut ChaCha8Rng) -> Run
     next
 }
 
+#[allow(clippy::too_many_arguments)]
 fn annealed(
     model: &ModelConfig,
     device: &DeviceSpec,
     workload: &TuneWorkload,
     space: &SearchSpace,
     base: &RunParams,
+    seeds: &[RunParams],
     seed: u64,
     rounds: usize,
     proposals: usize,
 ) -> Result<SearchOutcome, TuneError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let default_cost_s = match &price_all(model, device, workload, std::slice::from_ref(base))[0] {
+    // Round 0 prices the default plus any transferred seeds in one batch;
+    // the walk starts from the cheapest survivor. With no seeds this is
+    // exactly the old single-candidate pricing of `base`, and the RNG
+    // stream is untouched either way — unseeded runs reproduce bit for bit.
+    let mut starters = vec![base.clone()];
+    starters.extend(seeds.iter().cloned());
+    let costs = price_all(model, device, workload, &starters);
+    let default_cost_s = match &costs[0] {
         Ok(c) => *c,
         Err(skip) => return Err(default_unrunnable(workload, skip)),
     };
-    let (mut current, mut current_cost) = (base.clone(), default_cost_s);
-    let (mut best, mut best_cost) = (base.clone(), default_cost_s);
-    let (mut evaluated, mut pruned) = (1usize, 0usize);
+    let (start, start_cost) = argmin(&costs).expect("candidate 0 priced");
+    let (mut current, mut current_cost) = (starters[start].clone(), start_cost);
+    let (mut best, mut best_cost) = (starters[start].clone(), start_cost);
+    let mut evaluated = costs.iter().filter(|c| c.is_ok()).count();
+    let mut pruned = costs.iter().filter(|c| c.is_err()).count();
 
     for round in 0..rounds {
         // Serial proposal draws, parallel pricing, index-ordered reduction.

@@ -4,8 +4,12 @@
 //! [`Tuner::tune`] canonicalizes the workload to its cache bucket, answers
 //! from the database when the exact question was tuned before (counted on
 //! `tune.cache_hits`), and otherwise runs the search and records the result
-//! (`tune.cache_misses`). [`Tuner::save`] persists the database so the next
-//! process starts warm.
+//! (`tune.cache_misses`). A miss first harvests *cross-device transfer
+//! seeds*: cached winners for the same question on other devices, repriced
+//! as extra starting points (`tune.transfer_candidates` /
+//! `tune.transfer_survivors`) — fleet tuning prices the second device's
+//! search from the first device's answer instead of from scratch.
+//! [`Tuner::save`] persists the database so the next process starts warm.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -15,8 +19,9 @@ use resoftmax_gpusim::DeviceSpec;
 use resoftmax_model::{ModelConfig, RunParams};
 
 use crate::cache::{cache_key, CacheEntry, TuneDb};
-use crate::oracle::{default_params, TuneWorkload};
+use crate::oracle::{default_params, precheck, precheck_decode, TuneWorkload};
 use crate::search::{search, SearchMode};
+use crate::session_ext::apply_knobs;
 use crate::space::SearchSpace;
 
 /// Errors surfaced by tuning.
@@ -219,7 +224,16 @@ impl Tuner {
         }
         resoftmax_obs::counter("tune.cache_misses").incr();
 
-        let outcome = search(model, device, &bucket, &self.space, &self.mode, &base)?;
+        let seeds = self.transfer_seeds(model, &bucket, &base, &key);
+        let outcome = search(
+            model,
+            device,
+            &bucket,
+            &self.space,
+            &self.mode,
+            &base,
+            &seeds,
+        )?;
         self.db
             .lock()
             .expect("tuner database poisoned")
@@ -230,6 +244,7 @@ impl Tuner {
                     params: outcome.best.clone(),
                     cost_s: outcome.best_cost_s,
                     default_cost_s: outcome.default_cost_s,
+                    device: device.name.clone(),
                 },
             );
         Ok(Tuned {
@@ -239,6 +254,48 @@ impl Tuner {
             cache_hit: false,
             workload: bucket,
         })
+    }
+
+    /// Harvests cross-device transfer seeds for a cache miss: cached
+    /// winners for the same question on other devices (same model, profile,
+    /// workload bucket, space, and mode — only the `dev=` key segment
+    /// differs), with this bucket's knobs applied and the static gates
+    /// rerun. Every harvested winner counts on `tune.transfer_candidates`;
+    /// those surviving the precheck count on `tune.transfer_survivors` and
+    /// seed the search (see [`search`] for how each mode consumes them).
+    /// Deduplicated in key order, so the seed list is deterministic.
+    fn transfer_seeds(
+        &self,
+        model: &ModelConfig,
+        bucket: &TuneWorkload,
+        base: &RunParams,
+        key: &str,
+    ) -> Vec<RunParams> {
+        let mut foreign: Vec<RunParams> = Vec::new();
+        for (_, e) in self
+            .db
+            .lock()
+            .expect("tuner database poisoned")
+            .foreign_winners(key)
+        {
+            let candidate = apply_knobs(base, &e.params);
+            if !foreign.contains(&candidate) {
+                foreign.push(candidate);
+            }
+        }
+        let mut seeds = Vec::new();
+        for candidate in foreign {
+            resoftmax_obs::counter("tune.transfer_candidates").incr();
+            let survives = match bucket {
+                TuneWorkload::Prefill { .. } => precheck(model, &candidate).is_ok(),
+                TuneWorkload::Decode { ctxs } => precheck_decode(model, ctxs, &candidate).is_ok(),
+            };
+            if survives {
+                resoftmax_obs::counter("tune.transfer_survivors").incr();
+                seeds.push(candidate);
+            }
+        }
+        seeds
     }
 
     /// Persists the database to the path given at construction. A no-op for

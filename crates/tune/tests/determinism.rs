@@ -79,6 +79,23 @@ fn annealed_is_bit_identical_across_thread_counts_and_reruns() {
     assert_eq!(run_all(&SearchMode::annealed(43), None), other);
 }
 
+/// A warm kernel-pricing cache (populated by an earlier full pass) must
+/// reproduce the fresh-pricing rows bit for bit, at 1 and 4 workers. This
+/// is the tuning-level face of the simulator cache's bit-identity contract.
+#[test]
+fn warm_pricing_cache_is_bit_identical_across_workers() {
+    let mode = SearchMode::Exhaustive;
+    resoftmax_gpusim::set_sim_cache_enabled(Some(false));
+    let fresh = run_all(&mode, Some(1));
+    resoftmax_gpusim::set_sim_cache_enabled(Some(true));
+    let _warm_up = run_all(&mode, Some(1)); // populates the global cache
+    let one = run_all(&mode, Some(1));
+    let four = run_all(&mode, Some(4));
+    resoftmax_gpusim::set_sim_cache_enabled(None);
+    assert_eq!(one, fresh, "warm cache diverges from fresh pricing");
+    assert_eq!(four, fresh, "warm cache diverges at 4 workers");
+}
+
 #[test]
 fn annealed_never_beats_worse_than_default_and_exhaustive_bounds_it() {
     // The annealed walk starts at the default, so it can never return a

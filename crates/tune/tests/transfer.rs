@@ -1,0 +1,70 @@
+//! Cross-device winner transfer: a cache miss on one device harvests the
+//! winners tuned for the same question on other devices and seeds its own
+//! search with them, so fleet tuning prices the second device's search from
+//! the first device's answer instead of from scratch.
+//!
+//! Kept in its own test binary: the assertions read the process-global
+//! `tune.transfer_*` counters.
+
+#![cfg(not(miri))] // end-to-end simulation is too slow under miri
+
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::ModelConfig;
+use resoftmax_tune::{evaluate, SearchMode, SearchSpace, TuneWorkload, Tuner};
+
+#[test]
+fn t4_search_is_seeded_from_the_cached_a100_winner() {
+    let tuner = Tuner::new(SearchSpace::smoke(), SearchMode::annealed(42));
+    let model = ModelConfig::bert_base();
+    let w = TuneWorkload::Prefill {
+        seq_len: 512,
+        batch: 1,
+    };
+
+    let candidates0 = resoftmax_obs::counter("tune.transfer_candidates").get();
+    let a100 = tuner.tune(&model, &DeviceSpec::a100(), &w).unwrap();
+    assert_eq!(
+        resoftmax_obs::counter("tune.transfer_candidates").get(),
+        candidates0,
+        "the first device has nothing to transfer from"
+    );
+
+    let survivors0 = resoftmax_obs::counter("tune.transfer_survivors").get();
+    let t4 = tuner.tune(&model, &DeviceSpec::t4(), &w).unwrap();
+    assert!(!t4.cache_hit, "a new device is a genuine miss");
+    assert!(
+        resoftmax_obs::counter("tune.transfer_candidates").get() > candidates0,
+        "the t4 miss must harvest the cached a100 winner"
+    );
+    assert!(
+        resoftmax_obs::counter("tune.transfer_survivors").get() > survivors0,
+        "the a100 winner passes the device-independent gates, so it survives"
+    );
+
+    // The transferred winner joined the search's round 0, so the t4 answer
+    // can never be worse than pricing the a100 knobs directly on the t4 —
+    // and never worse than the t4 default.
+    let transferred_cost = evaluate(&model, &DeviceSpec::t4(), &t4.workload, &a100.params).unwrap();
+    assert!(
+        t4.cost_s <= transferred_cost,
+        "t4 {} > transferred a100 knobs {}",
+        t4.cost_s,
+        transferred_cost
+    );
+    assert!(t4.cost_s <= t4.default_cost_s);
+
+    // Re-asking either device answers from the cache without new transfer
+    // traffic.
+    let candidates1 = resoftmax_obs::counter("tune.transfer_candidates").get();
+    assert!(tuner.tune(&model, &DeviceSpec::t4(), &w).unwrap().cache_hit);
+    assert!(
+        tuner
+            .tune(&model, &DeviceSpec::a100(), &w)
+            .unwrap()
+            .cache_hit
+    );
+    assert_eq!(
+        resoftmax_obs::counter("tune.transfer_candidates").get(),
+        candidates1
+    );
+}
