@@ -1,0 +1,885 @@
+//! The fleet: N modeled replicas behind a router, on one simulated clock.
+//!
+//! [`FleetBuilder`] is the serving crate's public entry point. It validates
+//! the whole configuration at build time — replica devices, KV capacity
+//! against the model's weight footprint, decode legality and the certified
+//! numerics budget (the same analyzer gate `Session` applies) — so a
+//! [`Fleet`] that builds always runs to completion or returns a typed
+//! [`Error`].
+//!
+//! The run itself is a discrete-event loop over three event sources: fault
+//! injections (fail/drain), workload arrivals, and replica engine steps.
+//! Each replica owns its simulated clock (busy-until time); the fleet always
+//! advances whichever source is earliest, breaking exact ties in the fixed
+//! order *fault ≤ arrival ≤ step* (and lowest replica id among steps). All
+//! time is simulated GPU/interconnect time, so a fleet report is
+//! bit-identical across host thread counts and reruns.
+
+use crate::engine::{BaselinePlanner, IterationPlanner};
+use crate::error::Error;
+use crate::kv::{kv_bytes_per_token, weight_bytes, KvPool};
+use crate::link::LinkSpec;
+use crate::metrics::{FleetReport, Percentiles, ReplicaStats};
+use crate::replica::{Replica, ReqState, StepAcc};
+use crate::request::{poisson_arrivals, ServeConfig};
+use crate::router::{ReplicaView, Router, RouterPolicy};
+use resoftmax_gpusim::{DeviceSpec, Timeline};
+use resoftmax_model::{decode_error_bound, AttentionKind, ModelConfig, RunParams, SoftmaxStrategy};
+
+static BASELINE: BaselinePlanner = BaselinePlanner;
+
+/// A scripted replica fault, injected at a simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetEvent {
+    /// The replica dies abruptly: its KV pool is lost, every resident
+    /// request loses its cache and is re-routed (re-prefilling elsewhere).
+    Fail {
+        /// Replica index.
+        replica: usize,
+        /// Simulated time of the fault, seconds.
+        at_s: f64,
+    },
+    /// The replica is taken out of rotation gracefully: it stops accepting
+    /// work and its resident requests migrate their KV pages to siblings
+    /// over the interconnect.
+    Drain {
+        /// Replica index.
+        replica: usize,
+        /// Simulated time the drain starts, seconds.
+        at_s: f64,
+    },
+}
+
+impl FleetEvent {
+    fn at_s(&self) -> f64 {
+        match *self {
+            FleetEvent::Fail { at_s, .. } | FleetEvent::Drain { at_s, .. } => at_s,
+        }
+    }
+
+    fn replica(&self) -> usize {
+        match *self {
+            FleetEvent::Fail { replica, .. } | FleetEvent::Drain { replica, .. } => replica,
+        }
+    }
+}
+
+/// Builder for a [`Fleet`]; the serving crate's recommended entry point.
+///
+/// ```
+/// use resoftmax_serve::{FleetBuilder, LinkSpec, RouterPolicy, ServeConfig};
+/// use resoftmax_gpusim::DeviceSpec;
+/// use resoftmax_model::{ModelConfig, RunParams};
+///
+/// let report = FleetBuilder::new()
+///     .model(ModelConfig::gpt_neo_1_3b())
+///     .params(RunParams::new(4096))
+///     .replicas(2, &DeviceSpec::a100())
+///     .router(RouterPolicy::LeastLoaded)
+///     .link(LinkSpec::nvlink())
+///     .workload(ServeConfig {
+///         requests: 8,
+///         ..ServeConfig::default()
+///     })
+///     .build()?
+///     .run()?;
+/// assert_eq!(report.completed, 8);
+/// # Ok::<(), resoftmax_serve::Error>(())
+/// ```
+#[derive(Default)]
+pub struct FleetBuilder<'a> {
+    model: Option<ModelConfig>,
+    params: Option<RunParams>,
+    replicas: Vec<DeviceSpec>,
+    router: Option<RouterPolicy>,
+    link: Option<LinkSpec>,
+    workload: Option<ServeConfig>,
+    events: Vec<FleetEvent>,
+    planners: Vec<&'a dyn IterationPlanner>,
+    migrate_on_evict: Option<bool>,
+    analyze: Option<bool>,
+}
+
+impl<'a> FleetBuilder<'a> {
+    /// Starts an empty builder. [`model`](Self::model),
+    /// [`params`](Self::params), and at least one
+    /// [`replica`](Self::replica) are required.
+    pub fn new() -> Self {
+        FleetBuilder::default()
+    }
+
+    /// Sets the model every replica serves (required).
+    #[must_use]
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the base run parameters — strategy, tile, hardware profile —
+    /// every iteration is priced with (required). An
+    /// [`IterationPlanner`] may re-plan them per iteration.
+    #[must_use]
+    pub fn params(mut self, params: RunParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Adds one replica on `device`. Call repeatedly for a heterogeneous
+    /// fleet.
+    #[must_use]
+    pub fn replica(mut self, device: DeviceSpec) -> Self {
+        self.replicas.push(device);
+        self
+    }
+
+    /// Adds `n` replicas of the same `device`.
+    #[must_use]
+    pub fn replicas(mut self, n: usize, device: &DeviceSpec) -> Self {
+        self.replicas
+            .extend(std::iter::repeat_with(|| device.clone()).take(n));
+        self
+    }
+
+    /// Sets the routing policy (default: [`RouterPolicy::RoundRobin`]).
+    #[must_use]
+    pub fn router(mut self, policy: RouterPolicy) -> Self {
+        self.router = Some(policy);
+        self
+    }
+
+    /// Sets the interconnect KV migrations travel over (default:
+    /// [`LinkSpec::pcie_gen4`]).
+    #[must_use]
+    pub fn link(mut self, link: LinkSpec) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Sets the workload: arrival process, request shape distribution,
+    /// per-replica batch/KV limits, and admission policy (required).
+    #[must_use]
+    pub fn workload(mut self, cfg: ServeConfig) -> Self {
+        self.workload = Some(cfg);
+        self
+    }
+
+    /// Attaches a per-iteration planner (e.g. `resoftmax-tune`'s
+    /// `TunedPlanner`) to the next replica in declaration order. Either
+    /// attach none (every replica prices with the base parameters) or
+    /// exactly one per replica.
+    #[must_use]
+    pub fn planner(mut self, planner: &'a dyn IterationPlanner) -> Self {
+        self.planners.push(planner);
+        self
+    }
+
+    /// Schedules an abrupt replica failure at `at_s` (simulated seconds):
+    /// its KV is lost and residents re-route.
+    #[must_use]
+    pub fn fail_at(mut self, replica: usize, at_s: f64) -> Self {
+        self.events.push(FleetEvent::Fail { replica, at_s });
+        self
+    }
+
+    /// Schedules a graceful drain at `at_s`: the replica leaves rotation
+    /// and its residents migrate over the link.
+    #[must_use]
+    pub fn drain_at(mut self, replica: usize, at_s: f64) -> Self {
+        self.events.push(FleetEvent::Drain { replica, at_s });
+        self
+    }
+
+    /// Whether an evicted request's KV pages may migrate to a sibling
+    /// replica instead of being dropped and re-prefilled (default: `true`).
+    #[must_use]
+    pub fn migrate_on_evict(mut self, on: bool) -> Self {
+        self.migrate_on_evict = Some(on);
+        self
+    }
+
+    /// Enables or disables the static-analysis gate on the decode schedule
+    /// shape (enabled by default, exactly like `Session`).
+    #[must_use]
+    pub fn analyze(mut self, analyze: bool) -> Self {
+        self.analyze = Some(analyze);
+        self
+    }
+
+    /// Validates the whole configuration and builds the [`Fleet`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for structural problems (no replicas, invalid
+    /// device/link/workload parameters, fault events leaving no replica
+    /// alive, planner count mismatch), [`Error::Admission`] when a replica's
+    /// KV pool cannot hold one worst-case request end-to-end, and the
+    /// analyzer-gate errors `Session` would raise for the `(model, params)`
+    /// pair (decode legality, certified numerics budget).
+    pub fn build(self) -> Result<Fleet<'a>, Error> {
+        let config = |reason: String| Err(Error::Config { reason });
+        let Some(model) = self.model else {
+            return config("a model is required: FleetBuilder::new().model(..)".to_owned());
+        };
+        let Some(params) = self.params else {
+            return config(
+                "run parameters are required: FleetBuilder::new().params(..)".to_owned(),
+            );
+        };
+        let Some(cfg) = self.workload else {
+            return config("a workload is required: FleetBuilder::new().workload(..)".to_owned());
+        };
+        if self.replicas.is_empty() {
+            return config(
+                "a fleet needs at least one replica: .replica(DeviceSpec::a100())".to_owned(),
+            );
+        }
+        if !self.planners.is_empty() && self.planners.len() != self.replicas.len() {
+            return config(format!(
+                "attach either no planners or exactly one per replica ({} planners for {} replicas)",
+                self.planners.len(),
+                self.replicas.len()
+            ));
+        }
+        for (i, d) in self.replicas.iter().enumerate() {
+            if let Err(e) = d.validate() {
+                return config(format!("replica {i} device invalid: {e}"));
+            }
+        }
+        let link = self.link.unwrap_or_default();
+        if let Err(e) = link.validate() {
+            return config(format!("interconnect invalid: {e}"));
+        }
+
+        // Workload sanity — everything `poisson_arrivals` would panic on,
+        // plus the metric-shape requirements.
+        if cfg.requests == 0 {
+            return config("workload must submit at least one request".to_owned());
+        }
+        if !(cfg.arrival_rate_hz > 0.0 && cfg.arrival_rate_hz.is_finite()) {
+            return config(format!(
+                "arrival rate must be positive and finite, got {}",
+                cfg.arrival_rate_hz
+            ));
+        }
+        if cfg.prompt_tokens.0 == 0 || cfg.prompt_tokens.0 > cfg.prompt_tokens.1 {
+            return config(format!(
+                "prompt token range {:?} must be nonempty with a nonzero lower bound",
+                cfg.prompt_tokens
+            ));
+        }
+        if cfg.decode_tokens.0 < 2 || cfg.decode_tokens.0 > cfg.decode_tokens.1 {
+            return config(format!(
+                "decode token range {:?} must be nonempty with a lower bound of at \
+                 least 2 (the first token is the TTFT sample; TBT needs a second)",
+                cfg.decode_tokens
+            ));
+        }
+        if cfg.max_batch == 0 {
+            return config("max_batch must be nonzero".to_owned());
+        }
+        if cfg.prefill_chunk == 0 {
+            return config("prefill_chunk must be nonzero".to_owned());
+        }
+        if cfg.kv_block_tokens == 0 {
+            return config("kv_block_tokens must be nonzero".to_owned());
+        }
+
+        // Fault events must point at real replicas and leave at least one
+        // replica with no scripted fault (otherwise the run provably cannot
+        // finish and the failure should surface now, typed).
+        for ev in &self.events {
+            if ev.replica() >= self.replicas.len() {
+                return config(format!(
+                    "fault event targets replica {} but the fleet has {}",
+                    ev.replica(),
+                    self.replicas.len()
+                ));
+            }
+            if !(ev.at_s().is_finite() && ev.at_s() >= 0.0) {
+                return config(format!(
+                    "fault event time {} must be non-negative",
+                    ev.at_s()
+                ));
+            }
+        }
+        let faulted: std::collections::BTreeSet<usize> =
+            self.events.iter().map(FleetEvent::replica).collect();
+        if faulted.len() == self.replicas.len() {
+            return config(
+                "every replica has a scripted fault; at least one must survive to \
+                 finish the workload"
+                    .to_owned(),
+            );
+        }
+
+        // The same gates `Session` applies: build-time validation of the
+        // (model, params) pair per distinct device, decode legality, and the
+        // certified-numerics budget at the worst decode context the workload
+        // can reach.
+        let analyze = self.analyze.unwrap_or(true);
+        let mut seen: Vec<&str> = Vec::new();
+        for d in &self.replicas {
+            if seen.contains(&d.name.as_str()) {
+                continue;
+            }
+            seen.push(&d.name);
+            resoftmax_model::Session::builder()
+                .model(model.clone())
+                .device(d.clone())
+                .params(params.clone())
+                .analyze(analyze)
+                .build()?;
+        }
+        if !matches!(model.attention, AttentionKind::Dense { .. }) {
+            return config(format!(
+                "serving covers dense attention only; model '{}' is sparse",
+                model.name
+            ));
+        }
+        if params.strategy == SoftmaxStrategy::OnlineFused {
+            return config(
+                "decode attention is a single row; online fusion is the GEMV itself".to_owned(),
+            );
+        }
+        let worst_ctx = cfg.prompt_tokens.1 + cfg.decode_tokens.1;
+        if let Some(bound) = decode_error_bound(&[worst_ctx], &params) {
+            if !bound.certifies(resoftmax_analyzer::CERT_BUDGET_REL) {
+                return config(format!(
+                    "strategy {} at T={} over the workload's worst decode context {} \
+                     has certified relative error bound {:.3e}, exceeding the {:.1e} \
+                     budget; use a narrower tile or an fp32-accumulation strategy",
+                    params.strategy.label(),
+                    params.tile.n,
+                    bound.ctx,
+                    bound.rel,
+                    resoftmax_analyzer::CERT_BUDGET_REL,
+                ));
+            }
+        }
+
+        // Per-replica KV capacity: the weights must fit, and the remainder
+        // must hold one worst-case request end-to-end (otherwise the oldest
+        // request could stall forever — the old engine's panic, now typed).
+        let bytes_per_token = kv_bytes_per_token(&model);
+        let weights = weight_bytes(&model);
+        let mut pool_caps = Vec::with_capacity(self.replicas.len());
+        for (i, d) in self.replicas.iter().enumerate() {
+            let capacity = if let Some(b) = cfg.kv_capacity_bytes {
+                b
+            } else {
+                if weights >= d.hbm_bytes() {
+                    return Err(Error::Admission {
+                        reason: format!(
+                            "replica {i} ({}): model '{}' weights ({weights} B) \
+                             exceed device HBM ({} B)",
+                            d.name,
+                            model.name,
+                            d.hbm_bytes()
+                        ),
+                    });
+                }
+                d.hbm_bytes() - weights
+            };
+            let block_bytes = cfg.kv_block_tokens as u64 * bytes_per_token;
+            let total_blocks = capacity / block_bytes;
+            let need = (worst_ctx as u64).div_ceil(cfg.kv_block_tokens as u64);
+            if total_blocks < need {
+                return Err(Error::Admission {
+                    reason: format!(
+                        "replica {i} ({}): KV pool ({total_blocks} blocks) cannot hold \
+                         one worst-case request ({worst_ctx} tokens = {need} blocks); \
+                         the oldest request could stall forever — raise \
+                         kv_capacity_bytes or shrink the workload",
+                        d.name
+                    ),
+                });
+            }
+            pool_caps.push(capacity);
+        }
+
+        Ok(Fleet {
+            model,
+            params,
+            cfg,
+            devices: self.replicas,
+            pool_caps,
+            router: self.router.unwrap_or(RouterPolicy::RoundRobin),
+            link,
+            events: {
+                let mut evs = self.events;
+                // Stable by construction: sort_by is stable, so same-time
+                // events keep declaration order.
+                evs.sort_by(|a, b| a.at_s().total_cmp(&b.at_s()));
+                evs
+            },
+            planners: self.planners,
+            migrate_on_evict: self.migrate_on_evict.unwrap_or(true),
+        })
+    }
+}
+
+impl std::fmt::Debug for Fleet<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("model", &self.model.name)
+            .field("replicas", &self.devices.len())
+            .field("router", &self.router.name())
+            .field("link", &self.link.name)
+            .field("events", &self.events)
+            .field("planners", &self.planners.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A validated, ready-to-run fleet. Construct through [`FleetBuilder`];
+/// every [`run`](Fleet::run) starts from identical state, so reruns are
+/// bit-identical.
+pub struct Fleet<'a> {
+    model: ModelConfig,
+    params: RunParams,
+    cfg: ServeConfig,
+    devices: Vec<DeviceSpec>,
+    pool_caps: Vec<u64>,
+    router: RouterPolicy,
+    link: LinkSpec,
+    events: Vec<FleetEvent>,
+    planners: Vec<&'a dyn IterationPlanner>,
+    migrate_on_evict: bool,
+}
+
+/// The three things the fleet can do next; ordering on equal times is
+/// fault ≤ arrival ≤ step.
+enum Action {
+    Fault,
+    Arrival,
+    Step(usize),
+}
+
+impl Fleet<'_> {
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` for a zero-replica fleet (never: the builder rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The validated workload.
+    pub fn workload(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    fn planner(&self, replica: usize) -> &dyn IterationPlanner {
+        if self.planners.is_empty() {
+            &BASELINE
+        } else {
+            self.planners[replica]
+        }
+    }
+
+    /// Runs the fleet simulation to completion and aggregates the report.
+    ///
+    /// Deterministic in the builder inputs: the clock is simulated GPU and
+    /// interconnect time, so the report is bit-identical regardless of host
+    /// threading, and identical across reruns of the same `Fleet`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when fault events leave work outstanding with no
+    /// accepting replica, [`Error::Model`] / [`Error::Analysis`] when an
+    /// iteration's schedule fails to launch or analyze.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.max_iterations` is exceeded — the loop-termination
+    /// backstop, which validated configurations do not hit.
+    pub fn run(&self) -> Result<FleetReport, Error> {
+        let cfg = &self.cfg;
+        let arrivals = poisson_arrivals(cfg);
+        let bytes_per_token = kv_bytes_per_token(&self.model);
+        let sessions = if cfg.sessions == 0 {
+            arrivals.len() as u64
+        } else {
+            cfg.sessions as u64
+        };
+        let mut states: Vec<ReqState> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(id, a)| ReqState {
+                arrival_s: a.at_s,
+                session: id as u64 % sessions,
+                prompt: a.prompt,
+                decode: a.decode,
+                generated: 0,
+                cached: 0,
+                blocks: 0,
+                ready_s: a.at_s,
+                first_token_s: None,
+            })
+            .collect();
+
+        let trace = resoftmax_obs::trace_enabled();
+        let anchor_us = resoftmax_obs::recorder().now_us();
+        let mut replicas: Vec<Replica> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let pool = KvPool::new(self.pool_caps[i], cfg.kv_block_tokens, bytes_per_token);
+                let mut r = Replica::new(i, d.clone(), pool);
+                if trace {
+                    r.timeline = Some(Timeline::new());
+                }
+                r
+            })
+            .collect();
+        let mut router = self.router.build();
+
+        let mut next_event = 0usize;
+        let mut next_arrival = 0usize;
+        let mut acc = StepAcc::default();
+        let mut total_iterations = 0usize;
+        let mut migrations = 0usize;
+        let mut migration_drops = 0usize;
+        let mut kv_migrated_bytes = 0u64;
+        let mut migration_time_s = 0.0f64;
+
+        while acc.completed < cfg.requests {
+            assert!(
+                total_iterations < cfg.max_iterations,
+                "fleet loop exceeded {} iterations with {}/{} requests done",
+                cfg.max_iterations,
+                acc.completed,
+                cfg.requests
+            );
+
+            // Pick the earliest of: next fault, next arrival, earliest
+            // replica step. Ties resolve fault ≤ arrival ≤ step, and steps
+            // tie on the lowest replica id (strict `<` in the scan).
+            let mut when = f64::INFINITY;
+            let mut action: Option<Action> = None;
+            for (i, r) in replicas.iter().enumerate() {
+                if let Some(t) = r.next_time(&states) {
+                    if t < when {
+                        when = t;
+                        action = Some(Action::Step(i));
+                    }
+                }
+            }
+            if next_arrival < arrivals.len() && arrivals[next_arrival].at_s <= when {
+                when = arrivals[next_arrival].at_s;
+                action = Some(Action::Arrival);
+            }
+            if next_event < self.events.len() && self.events[next_event].at_s() <= when {
+                when = self.events[next_event].at_s();
+                action = Some(Action::Fault);
+            }
+            let Some(action) = action else {
+                unreachable!(
+                    "fleet stalled: {}/{} requests done with no arrivals, faults, or \
+                     runnable replicas left",
+                    acc.completed, cfg.requests
+                );
+            };
+
+            match action {
+                Action::Fault => {
+                    let ev = self.events[next_event];
+                    next_event += 1;
+                    self.apply_fault(
+                        ev,
+                        &mut replicas,
+                        &mut states,
+                        router.as_mut(),
+                        &mut migrations,
+                        &mut migration_drops,
+                        &mut kv_migrated_bytes,
+                        &mut migration_time_s,
+                        bytes_per_token,
+                    )?;
+                }
+                Action::Arrival => {
+                    let id = next_arrival;
+                    next_arrival += 1;
+                    let views = accepting_views(&replicas, &states, usize::MAX);
+                    if views.is_empty() {
+                        return Err(Error::Config {
+                            reason: format!(
+                                "request {id} arrived at {when:.3}s with every replica \
+                                 drained or failed"
+                            ),
+                        });
+                    }
+                    let dest = router.route(states[id].session, &views);
+                    replicas[dest].waiting.push(id);
+                }
+                Action::Step(i) => {
+                    replicas[i].clock_s = when;
+                    let evicted = replicas[i].step(
+                        &mut states,
+                        cfg,
+                        &self.model,
+                        &self.params,
+                        self.planner(i),
+                        &mut acc,
+                    )?;
+                    total_iterations += 1;
+                    for victim in evicted {
+                        self.place_displaced(
+                            victim,
+                            i,
+                            replicas[i].clock_s,
+                            &mut replicas,
+                            &mut states,
+                            router.as_mut(),
+                            &mut migrations,
+                            &mut migration_drops,
+                            &mut kv_migrated_bytes,
+                            &mut migration_time_s,
+                            bytes_per_token,
+                        );
+                    }
+                }
+            }
+        }
+
+        assert_eq!(
+            acc.completed, cfg.requests,
+            "scheduler bug: loop exited with requests outstanding"
+        );
+        let sim_time_s = acc.last_completion_s;
+        let iterations: usize = replicas.iter().map(|r| r.iterations).sum();
+        let evictions: usize = replicas.iter().map(|r| r.evictions).sum();
+        let prefill_tokens: u64 = replicas.iter().map(|r| r.prefill_tokens).sum();
+        let decode_tokens: u64 = replicas.iter().map(|r| r.decode_tokens).sum();
+        let replica_stats: Vec<ReplicaStats> = replicas
+            .iter()
+            .map(|r| ReplicaStats {
+                id: r.id,
+                device: r.device.name.clone(),
+                iterations: r.iterations,
+                evictions: r.evictions,
+                completed: r.completed,
+                prefill_tokens: r.prefill_tokens,
+                decode_tokens: r.decode_tokens,
+                busy_s: r.busy_s,
+                utilization: if sim_time_s > 0.0 {
+                    r.busy_s / sim_time_s
+                } else {
+                    0.0
+                },
+                kv_peak_occupancy: r.pool.peak_occupancy(),
+                kv_mean_occupancy: if r.occ_n > 0 {
+                    r.occ_sum / r.occ_n as f64
+                } else {
+                    0.0
+                },
+                drained: r.drained,
+                failed: r.failed,
+            })
+            .collect();
+
+        if trace {
+            for r in &replicas {
+                if let Some(tl) = &r.timeline {
+                    if !tl.is_empty() {
+                        resoftmax_obs::recorder().add_sim_stream(
+                            format!("serve.replica.{}/{}", r.id, r.device.name),
+                            anchor_us,
+                            resoftmax_gpusim::chrome_trace::to_obs_events(tl),
+                        );
+                    }
+                }
+            }
+        }
+
+        Ok(FleetReport {
+            strategy: format!("{:?}", self.params.strategy).to_lowercase(),
+            policy: cfg.policy.name().to_owned(),
+            router: self.router.name().to_owned(),
+            link: self.link.name.clone(),
+            submitted: arrivals.len(),
+            completed: acc.completed,
+            iterations,
+            evictions,
+            migrations,
+            migration_drops,
+            kv_migrated_bytes,
+            migration_time_s,
+            sim_time_s,
+            prefill_tokens,
+            decode_tokens,
+            decode_tokens_per_s: decode_tokens as f64 / sim_time_s,
+            ttft: Percentiles::from_samples(&acc.ttft),
+            tbt: Percentiles::from_samples(&acc.tbt),
+            replicas: replica_stats,
+        })
+    }
+
+    /// Re-homes a request displaced from `source` (eviction overflow, drain,
+    /// failure). Attempts a KV migration over the link when the request has
+    /// resident cache, migration is enabled, and a sibling has pool room;
+    /// otherwise the cache is dropped and the request re-prefills at its
+    /// destination.
+    #[allow(clippy::too_many_arguments)]
+    fn place_displaced(
+        &self,
+        id: usize,
+        source: usize,
+        now_s: f64,
+        replicas: &mut [Replica],
+        states: &mut [ReqState],
+        router: &mut dyn Router,
+        migrations: &mut usize,
+        migration_drops: &mut usize,
+        kv_migrated_bytes: &mut u64,
+        migration_time_s: &mut f64,
+        bytes_per_token: u64,
+    ) {
+        debug_assert_eq!(states[id].blocks, 0, "displaced requests hold no blocks");
+        let had_cache = states[id].cached > 0;
+        if self.migrate_on_evict && had_cache {
+            let views = accepting_views(replicas, states, source);
+            if !views.is_empty() {
+                let dest = router.route(states[id].session, &views);
+                let need = replicas[dest].pool.blocks_for(states[id].cached);
+                if replicas[dest].pool.try_alloc(need) {
+                    let bytes = states[id].cached as u64 * bytes_per_token;
+                    let transfer = self.link.transfer_time_s(bytes);
+                    states[id].blocks = need;
+                    states[id].ready_s = states[id].ready_s.max(now_s) + transfer;
+                    replicas[dest].waiting.push(id);
+                    replicas[source].note_migration_out();
+                    replicas[dest].note_migration_in();
+                    resoftmax_obs::counter("serve.migrations").incr();
+                    *migrations += 1;
+                    *kv_migrated_bytes += bytes;
+                    *migration_time_s += transfer;
+                    return;
+                }
+            }
+        }
+        // No migration path: the cache is dropped and the request re-queues
+        // wherever the router sends it (the source included, if accepting).
+        states[id].cached = 0;
+        states[id].ready_s = states[id].ready_s.max(now_s);
+        if had_cache {
+            *migration_drops += 1;
+            resoftmax_obs::counter("serve.migration_drops").incr();
+        }
+        let views = accepting_views(replicas, states, usize::MAX);
+        let dest = if views.is_empty() {
+            // Every replica is out of rotation; park the request back on the
+            // source so the stall surfaces as the typed no-accepting-replica
+            // error (or the iteration backstop), not a lost request.
+            source
+        } else {
+            router.route(states[id].session, &views)
+        };
+        replicas[dest].waiting.push(id);
+    }
+
+    /// Applies one scripted fault at its simulated time.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault(
+        &self,
+        ev: FleetEvent,
+        replicas: &mut [Replica],
+        states: &mut [ReqState],
+        router: &mut dyn Router,
+        migrations: &mut usize,
+        migration_drops: &mut usize,
+        kv_migrated_bytes: &mut u64,
+        migration_time_s: &mut f64,
+        bytes_per_token: u64,
+    ) -> Result<(), Error> {
+        let i = ev.replica();
+        let at_s = ev.at_s();
+        // The replica finishes its in-flight iteration first (clock_s is its
+        // busy-until time): displacement happens at the later of the two.
+        let now_s = at_s.max(replicas[i].clock_s);
+        match ev {
+            FleetEvent::Drain { .. } => {
+                replicas[i].accepting = false;
+                replicas[i].drained = true;
+            }
+            FleetEvent::Fail { .. } => {
+                replicas[i].accepting = false;
+                replicas[i].failed = true;
+            }
+        }
+        // Oldest running first, then the waiting queue: the drain preserves
+        // seniority at the destinations.
+        let displaced: Vec<usize> = std::mem::take(&mut replicas[i].running)
+            .into_iter()
+            .chain(std::mem::take(&mut replicas[i].waiting))
+            .collect();
+        if displaced.is_empty() {
+            return Ok(());
+        }
+        if accepting_views(replicas, states, usize::MAX).is_empty() {
+            return Err(Error::Config {
+                reason: format!(
+                    "replica {i} {} at {at_s:.3}s with {} requests resident and no \
+                     accepting replica left",
+                    if replicas[i].failed {
+                        "failed"
+                    } else {
+                        "drained"
+                    },
+                    displaced.len()
+                ),
+            });
+        }
+        for id in displaced {
+            replicas[i].release(states, id);
+            if replicas[i].failed {
+                // The pool died with the replica: the cache is gone before
+                // any migration question arises.
+                states[id].cached = 0;
+            }
+            self.place_displaced(
+                id,
+                i,
+                now_s,
+                replicas,
+                states,
+                router,
+                migrations,
+                migration_drops,
+                kv_migrated_bytes,
+                migration_time_s,
+                bytes_per_token,
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic router snapshot of every accepting replica except
+/// `exclude`, ascending id.
+fn accepting_views(replicas: &[Replica], states: &[ReqState], exclude: usize) -> Vec<ReplicaView> {
+    replicas
+        .iter()
+        .filter(|r| r.accepting && r.id != exclude)
+        .map(|r| ReplicaView {
+            id: r.id,
+            resident_blocks: r.pool.used_blocks(),
+            queued_blocks: r
+                .waiting
+                .iter()
+                .map(|&id| {
+                    r.pool
+                        .blocks_for(states[id].prefill_target())
+                        .max(states[id].blocks)
+                })
+                .sum(),
+            total_blocks: r.pool.total_blocks(),
+            queue_len: r.waiting.len(),
+            running: r.running.len(),
+            clock_s: r.clock_s,
+        })
+        .collect()
+}

@@ -1,51 +1,25 @@
-//! The continuous-batching engine loop.
+//! The single-replica serving entry points and the iteration-planner hook.
 //!
-//! One *iteration* = one fused GPU schedule over every resident request:
-//! decode requests contribute one row each at their current context length,
-//! prefilling requests contribute a chunk of rows (chunked prefill). The
-//! GPU timeline prices the iteration; the simulated clock advances by that
-//! much and the scheduler state steps. Eviction policy: when a decode row
-//! cannot grow its KV allocation, the *youngest* running request is evicted
-//! back to the waiting queue (losing its cache, which must be re-prefilled);
-//! the oldest running request is never evicted, so the head of the line
-//! always progresses and the loop terminates.
+//! `run_serve` / `run_serve_with` predate the fleet API and are kept as
+//! documented legacy wrappers: each delegates to a one-replica
+//! [`FleetBuilder`](crate::FleetBuilder) fleet and returns the legacy
+//! [`ServeReport`] view of its [`FleetReport`](crate::FleetReport). New code
+//! should use [`FleetBuilder`](crate::FleetBuilder) directly — it exposes
+//! the same engine plus routing, interconnect modeling, heterogeneous
+//! devices, and fault scenarios.
+//!
+//! Migration note: the wrappers now return [`crate::Error`] instead of
+//! `LaunchError`, and configurations that used to panic (a KV pool below one
+//! worst-case request, a degenerate workload range) surface as
+//! [`Error::Admission`](crate::Error::Admission) /
+//! [`Error::Config`](crate::Error::Config).
 
-use crate::kv::{kv_bytes_per_token, weight_bytes, KvPool};
-use crate::metrics::{Percentiles, ServeReport};
-use crate::request::{poisson_arrivals, Policy, ServeConfig};
-use resoftmax_gpusim::{DeviceSpec, Gpu, LaunchError};
-use resoftmax_model::{build_batched_decode_schedule, ModelConfig, RunParams};
-
-#[derive(Debug, Clone)]
-struct ReqState {
-    arrival_s: f64,
-    prompt: usize,
-    decode: usize,
-    /// Output tokens emitted so far (survives eviction — the text exists).
-    generated: usize,
-    /// Tokens resident in the KV cache (zeroed by eviction).
-    cached: usize,
-    /// Pool blocks held.
-    blocks: u64,
-    first_token_s: Option<f64>,
-}
-
-impl ReqState {
-    /// Tokens that must be cached before the next output token: the prompt
-    /// plus everything already generated.
-    fn target_ctx(&self) -> usize {
-        self.prompt + self.generated
-    }
-
-    fn remaining_work(&self) -> usize {
-        (self.target_ctx() - self.cached) + (self.decode - self.generated)
-    }
-}
-
-enum Row {
-    Prefill { id: usize, chunk: usize },
-    Decode { id: usize },
-}
+use crate::cluster::FleetBuilder;
+use crate::error::Error;
+use crate::metrics::ServeReport;
+use crate::request::ServeConfig;
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::{ModelConfig, RunParams};
 
 /// Chooses the run parameters used to price one fused engine iteration.
 ///
@@ -75,27 +49,24 @@ impl IterationPlanner for BaselinePlanner {
     }
 }
 
-/// Runs the serving simulation to completion and aggregates the report.
+/// Runs the serving simulation on a single replica and aggregates the
+/// report. Legacy wrapper: equivalent to (and implemented as) a one-replica
+/// [`FleetBuilder`](crate::FleetBuilder) fleet.
 ///
 /// Deterministic in `cfg.seed`: the clock is the simulated GPU timeline, so
 /// the report is bit-identical regardless of host threading.
 ///
 /// # Errors
 ///
-/// Returns [`LaunchError`] when a kernel of some iteration cannot launch on
-/// `device`.
-///
-/// # Panics
-///
-/// Panics when the KV pool cannot hold even one request end-to-end (the
-/// oldest request could then never finish — a configuration error), and
-/// when `cfg.max_iterations` is exceeded.
+/// [`Error::Config`] for a degenerate workload, [`Error::Admission`] when
+/// the KV pool cannot hold one worst-case request end-to-end, and the model
+/// layer's errors when an iteration fails to analyze or launch.
 pub fn run_serve(
     model: &ModelConfig,
     device: &DeviceSpec,
     params: &RunParams,
     cfg: &ServeConfig,
-) -> Result<ServeReport, LaunchError> {
+) -> Result<ServeReport, Error> {
     run_serve_with(model, device, params, cfg, &BaselinePlanner)
 }
 
@@ -103,7 +74,7 @@ pub fn run_serve(
 /// iteration (chunked prefill fused with batched decode) is priced with the
 /// parameters the planner returns for that iteration's row mix.
 ///
-/// # Errors / Panics
+/// # Errors
 ///
 /// As [`run_serve`].
 pub fn run_serve_with(
@@ -112,212 +83,22 @@ pub fn run_serve_with(
     params: &RunParams,
     cfg: &ServeConfig,
     planner: &dyn IterationPlanner,
-) -> Result<ServeReport, LaunchError> {
-    let arrivals = poisson_arrivals(cfg);
-    let capacity = cfg.kv_capacity_bytes.unwrap_or_else(|| {
-        device
-            .hbm_bytes()
-            .saturating_sub(weight_bytes(model))
-            .max(1)
-    });
-    let mut pool = KvPool::new(capacity, cfg.kv_block_tokens, kv_bytes_per_token(model));
-    let max_request_tokens = cfg.prompt_tokens.1 + cfg.decode_tokens.1;
-    assert!(
-        pool.can_alloc(pool.blocks_for(max_request_tokens)),
-        "KV pool ({} blocks) cannot hold one worst-case request ({} tokens); \
-         the oldest request could stall forever — raise kv_capacity_bytes",
-        pool.total_blocks(),
-        max_request_tokens
-    );
-
-    let mut states: Vec<ReqState> = arrivals
-        .iter()
-        .map(|a| ReqState {
-            arrival_s: a.at_s,
-            prompt: a.prompt,
-            decode: a.decode,
-            generated: 0,
-            cached: 0,
-            blocks: 0,
-            first_token_s: None,
-        })
-        .collect();
-    let mut waiting: Vec<usize> = Vec::new();
-    let mut running: Vec<usize> = Vec::new();
-    let mut next_arrival = 0usize;
-    let mut now = 0.0f64;
-
-    let mut completed = 0usize;
-    let mut iterations = 0usize;
-    let mut evictions = 0usize;
-    let mut prefill_tokens = 0u64;
-    let mut decode_tokens = 0u64;
-    let mut ttft: Vec<f64> = Vec::new();
-    let mut tbt: Vec<f64> = Vec::new();
-    let mut occupancy_samples: Vec<f64> = Vec::new();
-
-    let mut gpu = Gpu::new(device.clone());
-
-    while completed < cfg.requests {
-        assert!(
-            iterations < cfg.max_iterations,
-            "serve loop exceeded {} iterations with {completed}/{} requests done",
-            cfg.max_iterations,
-            cfg.requests
-        );
-
-        // Release arrivals; fast-forward the clock when the engine is idle.
-        if running.is_empty() && waiting.is_empty() && next_arrival < arrivals.len() {
-            now = now.max(states[next_arrival].arrival_s);
-        }
-        while next_arrival < arrivals.len() && states[next_arrival].arrival_s <= now {
-            waiting.push(next_arrival);
-            next_arrival += 1;
-        }
-
-        // Waiting-queue order. FIFO keeps insertion order (arrivals, then
-        // re-queued evictees); shortest-remaining sorts by outstanding work.
-        if cfg.policy == Policy::ShortestRemaining {
-            waiting.sort_by_key(|&id| (states[id].remaining_work(), id));
-        }
-
-        // Admission: strict head-of-line — a request is admitted only if the
-        // pool covers its full resident context (prompt plus any output
-        // generated before an eviction).
-        while running.len() < cfg.max_batch {
-            let Some(&id) = waiting.first() else { break };
-            let need = pool.blocks_for(states[id].target_ctx());
-            if !pool.try_alloc(need) {
-                break;
-            }
-            states[id].blocks = need;
-            waiting.remove(0);
-            running.push(id);
-            resoftmax_obs::counter("serve.admitted").incr();
-        }
-
-        // Build this iteration's rows, oldest request first. Decode rows
-        // grow their KV allocation up front; on exhaustion they evict
-        // younger requests (never older ones, and never already-granted
-        // ones — victims sit strictly later in `running`).
-        let mut ctxs: Vec<usize> = Vec::new();
-        let mut rows: Vec<Row> = Vec::new();
-        let mut i = 0usize;
-        while i < running.len() {
-            let id = running[i];
-            let (target, cached) = (states[id].target_ctx(), states[id].cached);
-            if cached < target {
-                let chunk = (target - cached).min(cfg.prefill_chunk);
-                ctxs.extend((1..=chunk).map(|t| cached + t));
-                rows.push(Row::Prefill { id, chunk });
-            } else {
-                let need = pool.blocks_for(cached + 1);
-                let mut granted = need <= states[id].blocks;
-                while !granted {
-                    if pool.try_alloc(need - states[id].blocks) {
-                        states[id].blocks = need;
-                        granted = true;
-                    } else if running.len() > i + 1 {
-                        // Evict the youngest running request.
-                        let victim = running.pop().expect("nonempty tail");
-                        pool.free(states[victim].blocks);
-                        states[victim].blocks = 0;
-                        states[victim].cached = 0;
-                        waiting.push(victim);
-                        evictions += 1;
-                        resoftmax_obs::counter("serve.evictions").incr();
-                    } else {
-                        // Nobody younger left to evict. The admission-time
-                        // capacity assertion guarantees the oldest (i == 0)
-                        // can always grow, so this request merely waits.
-                        assert!(i > 0, "oldest request starved despite capacity check");
-                        break;
-                    }
-                }
-                if granted {
-                    ctxs.push(cached + 1);
-                    rows.push(Row::Decode { id });
-                }
-            }
-            i += 1;
-        }
-
-        if ctxs.is_empty() {
-            // Nothing resident could run: the engine is idle until the next
-            // arrival (admission may be head-of-line blocked until then).
-            assert!(
-                next_arrival < arrivals.len(),
-                "serve loop stalled with no runnable rows and no future arrivals"
-            );
-            now = now.max(states[next_arrival].arrival_s);
-            continue;
-        }
-
-        // Price the fused iteration on the simulated GPU. `take_timeline`
-        // drains cost state (and flushes L2) so one `Gpu` serves the whole
-        // run without re-paying construction per iteration.
-        let span = resoftmax_obs::span("serve.iteration", "serve");
-        let iter_params = planner.plan(&ctxs, params);
-        gpu.run(&build_batched_decode_schedule(model, &ctxs, &iter_params))?;
-        let dt = gpu.take_timeline().total_time_s();
-        drop(span);
-        now += dt;
-        iterations += 1;
-        resoftmax_obs::counter("serve.iterations").incr();
-        occupancy_samples.push(pool.occupancy());
-
-        // Step the per-request state.
-        let mut finished: Vec<usize> = Vec::new();
-        for row in rows {
-            match row {
-                Row::Prefill { id, chunk } => {
-                    states[id].cached += chunk;
-                    prefill_tokens += chunk as u64;
-                    resoftmax_obs::counter("serve.prefill_tokens").add(chunk as u64);
-                }
-                Row::Decode { id } => {
-                    let st = &mut states[id];
-                    st.cached += 1;
-                    st.generated += 1;
-                    decode_tokens += 1;
-                    resoftmax_obs::counter("serve.decode_tokens").incr();
-                    tbt.push(dt);
-                    if st.first_token_s.is_none() {
-                        st.first_token_s = Some(now);
-                        ttft.push(now - st.arrival_s);
-                    }
-                    if st.generated == st.decode {
-                        pool.free(st.blocks);
-                        st.blocks = 0;
-                        finished.push(id);
-                        completed += 1;
-                    }
-                }
-            }
-        }
-        running.retain(|id| !finished.contains(id));
-    }
-
-    Ok(ServeReport {
-        strategy: format!("{:?}", params.strategy).to_lowercase(),
-        policy: cfg.policy.name().to_owned(),
-        completed,
-        iterations,
-        evictions,
-        sim_time_s: now,
-        prefill_tokens,
-        decode_tokens,
-        decode_tokens_per_s: decode_tokens as f64 / now,
-        ttft: Percentiles::from_samples(&ttft),
-        tbt: Percentiles::from_samples(&tbt),
-        kv_peak_occupancy: pool.peak_occupancy(),
-        kv_mean_occupancy: occupancy_samples.iter().sum::<f64>() / occupancy_samples.len() as f64,
-    })
+) -> Result<ServeReport, Error> {
+    let report = FleetBuilder::new()
+        .model(model.clone())
+        .params(params.clone())
+        .replica(device.clone())
+        .planner(planner)
+        .workload(cfg.clone())
+        .build()?
+        .run()?;
+    Ok(report.serve_report())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kv::kv_bytes_per_token;
     use resoftmax_model::SoftmaxStrategy;
 
     fn small_cfg() -> ServeConfig {
@@ -346,6 +127,9 @@ mod tests {
         assert!(a.decode_tokens_per_s > 0.0);
         assert!(a.tbt.p50_s > 0.0);
         assert!(a.kv_peak_occupancy > 0.0 && a.kv_peak_occupancy <= 1.0);
+        // Every request owes decode - 1 TBT samples (the first token is the
+        // TTFT sample).
+        assert!(a.tbt.n >= cfg.requests * (cfg.decode_tokens.0 - 1));
     }
 
     #[test]
@@ -361,7 +145,7 @@ mod tests {
         cfg.kv_capacity_bytes = Some(kv_bytes_per_token(&m) * 192);
         let r = run_serve(&m, &DeviceSpec::a100(), &RunParams::new(4096), &cfg).unwrap();
         assert_eq!(r.completed, cfg.requests);
-        assert!(r.evictions > 0, "a 256-token pool must evict: {r:?}");
+        assert!(r.evictions > 0, "a 192-token pool must evict: {r:?}");
         assert!(r.kv_peak_occupancy > 0.5);
     }
 
@@ -380,11 +164,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot hold one worst-case request")]
     fn pool_below_one_request_rejected() {
         let m = ModelConfig::gpt_neo_1_3b();
         let mut cfg = small_cfg();
         cfg.kv_capacity_bytes = Some(kv_bytes_per_token(&m) * 64);
-        let _ = run_serve(&m, &DeviceSpec::a100(), &RunParams::new(4096), &cfg);
+        let e = run_serve(&m, &DeviceSpec::a100(), &RunParams::new(4096), &cfg).unwrap_err();
+        assert!(matches!(e, Error::Admission { .. }), "{e}");
+        assert!(e.to_string().contains("worst-case request"), "{e}");
     }
 }

@@ -11,37 +11,68 @@
 //! asked where it is usually asked in practice — under serving load — with
 //! the same measured-not-asserted discipline as the rest of the repo.
 //!
+//! Beyond one device, [`FleetBuilder`] models a *cluster*: N replicas (any
+//! mix of device presets), each with its own GPU and KV-pool shard, behind a
+//! pluggable [`Router`] (round-robin, least-loaded, cache-affinity), with an
+//! interconnect cost model ([`LinkSpec`]) charging KV migration whenever a
+//! request is rebalanced, and scripted replica faults (fail/drain).
+//!
 //! Everything runs on a *simulated* clock (the GPU timeline advances it), so
 //! reports are bit-identical regardless of the host's worker-thread count.
 //!
 //! ```
+//! use resoftmax_serve::prelude::*;
 //! use resoftmax_gpusim::DeviceSpec;
 //! use resoftmax_model::{ModelConfig, RunParams};
-//! use resoftmax_serve::{run_serve, ServeConfig};
 //!
-//! let cfg = ServeConfig {
-//!     requests: 4,
-//!     ..ServeConfig::default()
-//! };
-//! let report = run_serve(
-//!     &ModelConfig::gpt_neo_1_3b(),
-//!     &DeviceSpec::a100(),
-//!     &RunParams::new(4096),
-//!     &cfg,
-//! )
-//! .unwrap();
-//! assert_eq!(report.completed, 4);
+//! let report = FleetBuilder::new()
+//!     .model(ModelConfig::gpt_neo_1_3b())
+//!     .params(RunParams::new(4096))
+//!     .replicas(2, &DeviceSpec::a100())
+//!     .replica(DeviceSpec::t4())
+//!     .router(RouterPolicy::CacheAffinity)
+//!     .link(LinkSpec::nvlink())
+//!     .workload(ServeConfig {
+//!         requests: 6,
+//!         ..ServeConfig::default()
+//!     })
+//!     .build()?
+//!     .run()?;
+//! assert_eq!(report.completed, 6);
+//! assert_eq!(report.replicas.len(), 3);
+//! # Ok::<(), resoftmax_serve::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod engine;
+mod error;
 mod kv;
+mod link;
 mod metrics;
+mod replica;
 mod request;
+mod router;
 
+pub use cluster::{Fleet, FleetBuilder, FleetEvent};
 pub use engine::{run_serve, run_serve_with, BaselinePlanner, IterationPlanner};
+pub use error::Error;
 pub use kv::{kv_bytes_per_token, weight_bytes, KvPool};
-pub use metrics::{Percentiles, ServeReport};
+pub use link::LinkSpec;
+pub use metrics::{FleetReport, Percentiles, ReplicaStats, ServeReport};
 pub use request::{poisson_arrivals, Arrival, Policy, ServeConfig};
+pub use router::{CacheAffinity, LeastLoaded, ReplicaView, RoundRobin, Router, RouterPolicy};
+
+/// One-line import of the serving API:
+/// `use resoftmax_serve::prelude::*;`.
+pub mod prelude {
+    pub use crate::cluster::{Fleet, FleetBuilder, FleetEvent};
+    pub use crate::engine::{run_serve, run_serve_with, BaselinePlanner, IterationPlanner};
+    pub use crate::error::Error;
+    pub use crate::link::LinkSpec;
+    pub use crate::metrics::{FleetReport, Percentiles, ReplicaStats, ServeReport};
+    pub use crate::request::{Arrival, Policy, ServeConfig};
+    pub use crate::router::{ReplicaView, Router, RouterPolicy};
+}

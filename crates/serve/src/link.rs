@@ -1,0 +1,130 @@
+//! Interconnect cost model for KV-cache migration between replicas.
+//!
+//! When the fleet rebalances a request (eviction overflow to a sibling, or a
+//! draining replica redistributing its residents), the request's KV pages
+//! cross the interconnect. The model is a latency + bandwidth line — the
+//! same first-order shape the GPU simulator uses for DRAM — because what the
+//! serving question needs is the *relative* cost of moving a context versus
+//! recomputing it, not a fabric simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point interconnect between replicas: per-transfer latency plus
+/// a bandwidth term. Transfer time for `bytes` is
+/// `latency_us + bytes / bandwidth`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable name, e.g. `"NVLink3"`.
+    pub name: String,
+    /// Sustained point-to-point bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Per-transfer setup latency in microseconds (software + fabric).
+    pub latency_us: f64,
+}
+
+impl LinkSpec {
+    /// NVLink3-class intra-node link (per-direction, single pair).
+    pub fn nvlink() -> Self {
+        LinkSpec {
+            name: "NVLink3".to_owned(),
+            bandwidth_gbps: 300.0,
+            latency_us: 10.0,
+        }
+    }
+
+    /// PCIe 4.0 x16 host-mediated link — the default.
+    pub fn pcie_gen4() -> Self {
+        LinkSpec {
+            name: "PCIe4x16".to_owned(),
+            bandwidth_gbps: 32.0,
+            latency_us: 25.0,
+        }
+    }
+
+    /// 100 Gb/s Ethernet/RDMA inter-node link.
+    pub fn ethernet_100g() -> Self {
+        LinkSpec {
+            name: "100GbE".to_owned(),
+            bandwidth_gbps: 12.5,
+            latency_us: 50.0,
+        }
+    }
+
+    /// Seconds to move `bytes` across the link.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.bandwidth_gbps * 1e9)
+    }
+
+    /// Checks the spec is physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending field's name when the bandwidth is not positive
+    /// or the latency is negative/non-finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.bandwidth_gbps > 0.0 && self.bandwidth_gbps.is_finite()) {
+            return Err(format!(
+                "link bandwidth_gbps must be positive, got {}",
+                self.bandwidth_gbps
+            ));
+        }
+        if !(self.latency_us >= 0.0 && self.latency_us.is_finite()) {
+            return Err(format!(
+                "link latency_us must be non-negative, got {}",
+                self.latency_us
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self::pcie_gen4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_bandwidth() {
+        let l = LinkSpec::pcie_gen4();
+        // 32 MB over 32 GB/s = 1 ms, plus 25 us latency.
+        let t = l.transfer_time_s(32 * 1024 * 1024);
+        assert!((t - (25e-6 + 33.554432e6 / 32e9)).abs() < 1e-12);
+        // Zero bytes still pays the latency.
+        assert!((l.transfer_time_s(0) - 25e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn presets_validate_and_order_by_speed() {
+        for l in [
+            LinkSpec::nvlink(),
+            LinkSpec::pcie_gen4(),
+            LinkSpec::ethernet_100g(),
+        ] {
+            l.validate().unwrap_or_else(|e| panic!("{}: {e}", l.name));
+        }
+        let bytes = 64 * 1024 * 1024;
+        assert!(
+            LinkSpec::nvlink().transfer_time_s(bytes)
+                < LinkSpec::pcie_gen4().transfer_time_s(bytes)
+        );
+        assert!(
+            LinkSpec::pcie_gen4().transfer_time_s(bytes)
+                < LinkSpec::ethernet_100g().transfer_time_s(bytes)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut l = LinkSpec::nvlink();
+        l.bandwidth_gbps = 0.0;
+        assert!(l.validate().unwrap_err().contains("bandwidth"));
+        let mut l = LinkSpec::nvlink();
+        l.latency_us = -1.0;
+        assert!(l.validate().unwrap_err().contains("latency"));
+    }
+}

@@ -43,7 +43,17 @@ impl Percentiles {
     }
 }
 
-/// The outcome of one serving simulation.
+/// The outcome of one serving simulation on a single replica — the legacy
+/// report shape of [`run_serve`](crate::run_serve), and the per-fleet
+/// aggregate embedded in [`FleetReport`].
+///
+/// **TTFT definition.** `ttft` measures the *first decoded token*: under
+/// chunked prefill the final prompt chunk's forward pass produces the
+/// logits for (and therefore emits) the first output token, so TTFT is the
+/// completion of that chunk — not the completion of an earlier prefill
+/// chunk, and not the first single-token decode iteration (which emits the
+/// *second* token). `tbt` measures the gaps between consecutive output
+/// tokens, so the first token contributes to `ttft` only.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Softmax strategy the engine ran ("baseline", "recomposed", ...).
@@ -65,15 +75,123 @@ pub struct ServeReport {
     pub decode_tokens: u64,
     /// Output tokens per simulated second.
     pub decode_tokens_per_s: f64,
-    /// Time to first generated token, per request.
+    /// Time to first generated token, per request (see the struct docs for
+    /// the exact definition under chunked prefill).
     pub ttft: Percentiles,
-    /// Time between output tokens (one sample per decode row per
-    /// iteration).
+    /// Time between consecutive output tokens (the first token is excluded
+    /// — it is the TTFT sample).
     pub tbt: Percentiles,
     /// Peak KV-pool occupancy in `[0, 1]`.
     pub kv_peak_occupancy: f64,
     /// Mean of the per-iteration KV occupancy samples.
     pub kv_mean_occupancy: f64,
+}
+
+/// Per-replica accounting inside a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaStats {
+    /// Replica index within the fleet.
+    pub id: usize,
+    /// Device name ("A100", "T4", ...).
+    pub device: String,
+    /// Engine iterations this replica executed.
+    pub iterations: usize,
+    /// Evictions this replica performed.
+    pub evictions: usize,
+    /// Requests that finished on this replica.
+    pub completed: usize,
+    /// Prompt tokens prefilled here.
+    pub prefill_tokens: u64,
+    /// Output tokens decoded here.
+    pub decode_tokens: u64,
+    /// Simulated seconds this replica's GPU was executing iterations.
+    pub busy_s: f64,
+    /// `busy_s` over the fleet's total simulated time.
+    pub utilization: f64,
+    /// Peak KV-pool occupancy in `[0, 1]`.
+    pub kv_peak_occupancy: f64,
+    /// Mean of the per-iteration KV occupancy samples (0 when the replica
+    /// never ran an iteration).
+    pub kv_mean_occupancy: f64,
+    /// `true` once a drain event retired this replica.
+    pub drained: bool,
+    /// `true` once a fail event killed this replica.
+    pub failed: bool,
+}
+
+/// The outcome of one fleet serving simulation
+/// ([`Fleet::run`](crate::Fleet::run)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Softmax strategy the engines ran.
+    pub strategy: String,
+    /// Per-replica admission policy name ("fifo", "shortest-remaining").
+    pub policy: String,
+    /// Fleet routing policy name ("round-robin", "least-loaded",
+    /// "cache-affinity").
+    pub router: String,
+    /// Interconnect preset name.
+    pub link: String,
+    /// Requests submitted (the workload trace length).
+    pub submitted: usize,
+    /// Requests that ran to completion. Always equals `submitted` when the
+    /// run returns `Ok` — a shortfall is a scheduling bug and panics.
+    pub completed: usize,
+    /// Engine iterations across all replicas.
+    pub iterations: usize,
+    /// Evictions across all replicas.
+    pub evictions: usize,
+    /// Requests whose KV pages moved across the interconnect (eviction
+    /// spill-over to a sibling, or drain redistribution).
+    pub migrations: usize,
+    /// Rebalanced requests whose KV could *not* be placed remotely and was
+    /// dropped (re-prefilled from scratch at the destination).
+    pub migration_drops: usize,
+    /// KV bytes that crossed the interconnect.
+    pub kv_migrated_bytes: u64,
+    /// Simulated seconds spent on the wire by migrated KV.
+    pub migration_time_s: f64,
+    /// Simulated wall-clock at the last completion, seconds.
+    pub sim_time_s: f64,
+    /// Prompt tokens prefilled fleet-wide.
+    pub prefill_tokens: u64,
+    /// Output tokens generated fleet-wide.
+    pub decode_tokens: u64,
+    /// Output tokens per simulated second, fleet-wide.
+    pub decode_tokens_per_s: f64,
+    /// Time to first generated token, per request (see [`ServeReport`] for
+    /// the definition).
+    pub ttft: Percentiles,
+    /// Time between consecutive output tokens (first token excluded).
+    pub tbt: Percentiles,
+    /// Per-replica accounting, ascending id.
+    pub replicas: Vec<ReplicaStats>,
+}
+
+impl FleetReport {
+    /// The single-replica view of this report, in the legacy
+    /// [`ServeReport`] shape. This is what [`run_serve`](crate::run_serve)
+    /// returns for a one-replica fleet; calling it on a larger fleet folds
+    /// the per-replica KV occupancies by taking replica 0's (the aggregate
+    /// latency/throughput fields are fleet-wide either way).
+    pub fn serve_report(&self) -> ServeReport {
+        let r0 = &self.replicas[0];
+        ServeReport {
+            strategy: self.strategy.clone(),
+            policy: self.policy.clone(),
+            completed: self.completed,
+            iterations: self.iterations,
+            evictions: self.evictions,
+            sim_time_s: self.sim_time_s,
+            prefill_tokens: self.prefill_tokens,
+            decode_tokens: self.decode_tokens,
+            decode_tokens_per_s: self.decode_tokens_per_s,
+            ttft: self.ttft,
+            tbt: self.tbt,
+            kv_peak_occupancy: r0.kv_peak_occupancy,
+            kv_mean_occupancy: r0.kv_mean_occupancy,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,405 @@
+//! One modeled replica: a GPU, a KV-pool shard, and the continuous-batching
+//! engine step that advances it on the shared simulated clock.
+//!
+//! One *iteration* = one fused GPU schedule over every resident request:
+//! decode requests contribute one row each at their current context length,
+//! prefilling requests contribute a chunk of rows (chunked prefill). The
+//! replica's GPU prices the iteration; the replica clock advances by that
+//! much and the scheduler state steps. Eviction policy: when a decode row
+//! cannot grow its KV allocation, the *youngest* running request is evicted
+//! (its pages are handed back to the fleet, which may migrate them to a
+//! sibling replica over the interconnect); the oldest running request is
+//! never evicted, so the head of the line always progresses and the loop
+//! terminates.
+
+use crate::engine::IterationPlanner;
+use crate::error::Error;
+use crate::kv::KvPool;
+use crate::request::{Policy, ServeConfig};
+use resoftmax_gpusim::{DeviceSpec, Gpu, Timeline};
+use resoftmax_model::{build_batched_decode_schedule, ModelConfig, RunParams};
+use resoftmax_obs::Counter;
+
+/// Fleet-level scheduling state of one request.
+#[derive(Debug, Clone)]
+pub(crate) struct ReqState {
+    pub arrival_s: f64,
+    /// Session the request belongs to (cache-affinity routing key).
+    pub session: u64,
+    pub prompt: usize,
+    pub decode: usize,
+    /// Output tokens emitted so far (survives eviction/failure — the text
+    /// already reached the client).
+    pub generated: usize,
+    /// Tokens resident in the KV cache (zeroed by eviction or replica
+    /// failure; preserved across a successful migration).
+    pub cached: usize,
+    /// Pool blocks held on the replica currently hosting the request.
+    pub blocks: u64,
+    /// Earliest simulated time the request can run (arrival time, or the
+    /// completion of an in-flight KV migration).
+    pub ready_s: f64,
+    pub first_token_s: Option<f64>,
+}
+
+impl ReqState {
+    /// Tokens that must be resident in the KV cache before the next decode
+    /// row can run: the prompt, plus every already-emitted token except the
+    /// latest (the next decode pass embeds that one and writes its KV
+    /// entry). Before the first token, the whole prompt — its final prefill
+    /// chunk computes the logits that emit token one.
+    pub fn prefill_target(&self) -> usize {
+        if self.generated == 0 {
+            self.prompt
+        } else {
+            self.prompt + self.generated - 1
+        }
+    }
+
+    pub fn remaining_work(&self) -> usize {
+        (self.prefill_target() - self.cached) + (self.decode - self.generated)
+    }
+}
+
+enum Row {
+    Prefill { id: usize, chunk: usize },
+    Decode { id: usize },
+}
+
+/// Cached handles for this replica's `serve.replica.{i}.*` counters (the
+/// registry lookup takes a lock; the engine loop is hot).
+struct ReplicaCounters {
+    iterations: Counter,
+    evictions: Counter,
+    prefill_tokens: Counter,
+    decode_tokens: Counter,
+    completed: Counter,
+    migrations_in: Counter,
+    migrations_out: Counter,
+}
+
+impl ReplicaCounters {
+    fn new(id: usize) -> Self {
+        let c = |what: &str| resoftmax_obs::counter(&format!("serve.replica.{id}.{what}"));
+        ReplicaCounters {
+            iterations: c("iterations"),
+            evictions: c("evictions"),
+            prefill_tokens: c("prefill_tokens"),
+            decode_tokens: c("decode_tokens"),
+            completed: c("completed"),
+            migrations_in: c("migrations_in"),
+            migrations_out: c("migrations_out"),
+        }
+    }
+}
+
+/// One modeled replica of the fleet.
+pub(crate) struct Replica {
+    pub id: usize,
+    pub device: DeviceSpec,
+    pub gpu: Gpu,
+    pub pool: KvPool,
+    /// Simulated time this replica is committed through (busy-until).
+    pub clock_s: f64,
+    /// `false` once drained or failed: the router no longer sees it.
+    pub accepting: bool,
+    pub drained: bool,
+    pub failed: bool,
+    /// Requests in the current continuous batch, admission order (oldest
+    /// first — index 0 is never evicted).
+    pub running: Vec<usize>,
+    /// Admission queue (request ids; entries may hold migrated-in block
+    /// reservations and per-request `ready_s` gates).
+    pub waiting: Vec<usize>,
+    // Accounting.
+    pub iterations: usize,
+    pub evictions: usize,
+    pub completed: usize,
+    pub prefill_tokens: u64,
+    pub decode_tokens: u64,
+    pub busy_s: f64,
+    pub occ_sum: f64,
+    pub occ_n: usize,
+    /// Accumulated simulated kernel timeline, exported as this replica's
+    /// trace stream (`Some` only while tracing is enabled).
+    pub timeline: Option<Timeline>,
+    counters: ReplicaCounters,
+}
+
+/// Fleet-level accumulators a step writes into.
+#[derive(Debug, Default)]
+pub(crate) struct StepAcc {
+    pub ttft: Vec<f64>,
+    pub tbt: Vec<f64>,
+    pub completed: usize,
+    pub last_completion_s: f64,
+}
+
+impl Replica {
+    pub fn new(id: usize, device: DeviceSpec, pool: KvPool) -> Self {
+        Replica {
+            id,
+            gpu: Gpu::new(device.clone()),
+            device,
+            pool,
+            clock_s: 0.0,
+            accepting: true,
+            drained: false,
+            failed: false,
+            running: Vec::new(),
+            waiting: Vec::new(),
+            iterations: 0,
+            evictions: 0,
+            completed: 0,
+            prefill_tokens: 0,
+            decode_tokens: 0,
+            busy_s: 0.0,
+            occ_sum: 0.0,
+            occ_n: 0,
+            timeline: None,
+            counters: ReplicaCounters::new(id),
+        }
+    }
+
+    /// The next simulated time this replica can act, or `None` when it has
+    /// nothing to do (idle, drained, or failed with empty queues).
+    pub fn next_time(&self, states: &[ReqState]) -> Option<f64> {
+        if !self.running.is_empty() {
+            return Some(self.clock_s);
+        }
+        self.waiting
+            .iter()
+            .map(|&id| states[id].ready_s)
+            .min_by(f64::total_cmp)
+            .map(|ready| ready.max(self.clock_s))
+    }
+
+    /// Frees every block `id` holds here (eviction, migration, drain).
+    pub fn release(&mut self, states: &mut [ReqState], id: usize) {
+        if states[id].blocks > 0 {
+            self.pool.free(states[id].blocks);
+            states[id].blocks = 0;
+        }
+    }
+
+    /// Evicts the youngest running request (caller guarantees the tail is
+    /// nonempty) and returns its id; the fleet decides whether its KV pages
+    /// migrate or drop.
+    fn evict_youngest(&mut self, states: &mut [ReqState]) -> usize {
+        let victim = self.running.pop().expect("nonempty running tail");
+        self.release(states, victim);
+        self.evictions += 1;
+        self.counters.evictions.incr();
+        resoftmax_obs::counter("serve.evictions").incr();
+        victim
+    }
+
+    /// Reclaims the block reservation of the waiting request closest to the
+    /// queue tail (skipping `keep`); returns `false` when no waiting entry
+    /// holds blocks. Reclaimed requests lose their cache and re-prefill.
+    fn reclaim_waiting_blocks(&mut self, states: &mut [ReqState], keep: usize) -> bool {
+        let Some(pos) = self
+            .waiting
+            .iter()
+            .rposition(|&v| v != keep && states[v].blocks > 0)
+        else {
+            return false;
+        };
+        let v = self.waiting[pos];
+        self.release(states, v);
+        states[v].cached = 0;
+        self.evictions += 1;
+        self.counters.evictions.incr();
+        resoftmax_obs::counter("serve.evictions").incr();
+        true
+    }
+
+    /// Admission: strict head-of-line over the ready part of the waiting
+    /// queue — a request is admitted only if the pool covers its full
+    /// resident context (migrated-in requests already hold part of it).
+    fn admit(&mut self, states: &mut [ReqState], cfg: &ServeConfig) {
+        if cfg.policy == Policy::ShortestRemaining {
+            self.waiting
+                .sort_by_key(|&id| (states[id].remaining_work(), id));
+        }
+        while self.running.len() < cfg.max_batch {
+            let Some(pos) = self
+                .waiting
+                .iter()
+                .position(|&id| states[id].ready_s <= self.clock_s)
+            else {
+                break;
+            };
+            let id = self.waiting[pos];
+            let need = self.pool.blocks_for(states[id].prefill_target());
+            let extra = need.saturating_sub(states[id].blocks);
+            if extra > 0 && !self.pool.try_alloc(extra) {
+                // Reclaim migrated-in reservations parked further down the
+                // queue before declaring head-of-line blockage.
+                while !self.pool.can_alloc(extra) {
+                    if !self.reclaim_waiting_blocks(states, id) {
+                        break;
+                    }
+                }
+                if !self.pool.try_alloc(extra) {
+                    break;
+                }
+            }
+            states[id].blocks = states[id].blocks.max(need);
+            self.waiting.remove(pos);
+            self.running.push(id);
+            resoftmax_obs::counter("serve.admitted").incr();
+        }
+    }
+
+    /// Runs one engine iteration at `self.clock_s` (the caller has already
+    /// advanced it to this replica's next-action time). Returns the evicted
+    /// request ids, in eviction order, for the fleet to re-route.
+    pub fn step(
+        &mut self,
+        states: &mut [ReqState],
+        cfg: &ServeConfig,
+        model: &ModelConfig,
+        params: &RunParams,
+        planner: &dyn IterationPlanner,
+        acc: &mut StepAcc,
+    ) -> Result<Vec<usize>, Error> {
+        self.admit(states, cfg);
+
+        // Build this iteration's rows, oldest request first. Decode rows
+        // grow their KV allocation up front; on exhaustion they evict
+        // younger requests (never older ones, and never already-granted
+        // ones — victims sit strictly later in `running`).
+        let mut ctxs: Vec<usize> = Vec::new();
+        let mut rows: Vec<Row> = Vec::new();
+        let mut evicted: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        while i < self.running.len() {
+            let id = self.running[i];
+            let (target, cached) = (states[id].prefill_target(), states[id].cached);
+            if cached < target {
+                let chunk = (target - cached).min(cfg.prefill_chunk);
+                ctxs.extend((1..=chunk).map(|t| cached + t));
+                rows.push(Row::Prefill { id, chunk });
+            } else {
+                let need = self.pool.blocks_for(cached + 1);
+                let mut granted = need <= states[id].blocks;
+                while !granted {
+                    if self.pool.try_alloc(need - states[id].blocks) {
+                        states[id].blocks = need;
+                        granted = true;
+                    } else if self.running.len() > i + 1 {
+                        let victim = self.evict_youngest(states);
+                        evicted.push(victim);
+                    } else if self.reclaim_waiting_blocks(states, id) {
+                        // Waiting reservations are the only holders left.
+                    } else {
+                        // Nobody left to evict. The build-time capacity
+                        // check guarantees the oldest (i == 0) can always
+                        // grow, so this request merely waits.
+                        assert!(i > 0, "oldest request starved despite capacity check");
+                        break;
+                    }
+                }
+                if granted {
+                    ctxs.push(cached + 1);
+                    rows.push(Row::Decode { id });
+                }
+            }
+            i += 1;
+        }
+        assert!(
+            !ctxs.is_empty(),
+            "replica {} stepped with no runnable rows (scheduler bug)",
+            self.id
+        );
+
+        // Price the fused iteration on this replica's GPU. `take_timeline`
+        // drains cost state (and flushes L2) so one `Gpu` serves the whole
+        // run without re-paying construction per iteration.
+        let span = resoftmax_obs::span("serve.iteration", "serve");
+        let iter_params = planner.plan(&ctxs, params);
+        self.gpu
+            .run(&build_batched_decode_schedule(model, &ctxs, &iter_params))?;
+        let timeline = self.gpu.take_timeline();
+        let dt = timeline.total_time_s();
+        drop(span);
+        if let Some(acc_tl) = &mut self.timeline {
+            acc_tl.extend_from(&timeline);
+        }
+        self.clock_s += dt;
+        self.busy_s += dt;
+        self.iterations += 1;
+        self.counters.iterations.incr();
+        resoftmax_obs::counter("serve.iterations").incr();
+        self.occ_sum += self.pool.occupancy();
+        self.occ_n += 1;
+
+        // Step the per-request state.
+        let mut finished: Vec<usize> = Vec::new();
+        let mut complete = |st: &mut ReqState, id: usize, pool: &mut KvPool, n: &mut usize| {
+            pool.free(st.blocks);
+            st.blocks = 0;
+            finished.push(id);
+            *n += 1;
+            acc.completed += 1;
+            acc.last_completion_s = acc.last_completion_s.max(self.clock_s);
+        };
+        for row in rows {
+            match row {
+                Row::Prefill { id, chunk } => {
+                    let st = &mut states[id];
+                    st.cached += chunk;
+                    self.prefill_tokens += chunk as u64;
+                    self.counters.prefill_tokens.add(chunk as u64);
+                    resoftmax_obs::counter("serve.prefill_tokens").add(chunk as u64);
+                    if st.generated == 0 && st.cached == st.prompt {
+                        // The final prompt chunk's forward pass produces the
+                        // logits for the first output token: TTFT is *this*
+                        // completion, not the first decode iteration's.
+                        st.generated = 1;
+                        self.decode_tokens += 1;
+                        self.counters.decode_tokens.incr();
+                        resoftmax_obs::counter("serve.decode_tokens").incr();
+                        st.first_token_s = Some(self.clock_s);
+                        acc.ttft.push(self.clock_s - st.arrival_s);
+                        if st.generated == st.decode {
+                            complete(st, id, &mut self.pool, &mut self.completed);
+                        }
+                    }
+                }
+                Row::Decode { id } => {
+                    let st = &mut states[id];
+                    st.cached += 1;
+                    st.generated += 1;
+                    self.decode_tokens += 1;
+                    self.counters.decode_tokens.incr();
+                    resoftmax_obs::counter("serve.decode_tokens").incr();
+                    debug_assert!(
+                        st.first_token_s.is_some(),
+                        "decode rows only run after the prefill that emits token one"
+                    );
+                    acc.tbt.push(dt);
+                    if st.generated == st.decode {
+                        complete(st, id, &mut self.pool, &mut self.completed);
+                    }
+                }
+            }
+        }
+        if !finished.is_empty() {
+            self.counters.completed.add(finished.len() as u64);
+            self.running.retain(|id| !finished.contains(id));
+        }
+        Ok(evicted)
+    }
+
+    /// Counts one migrated-in request (fleet bookkeeping hook).
+    pub fn note_migration_in(&self) {
+        self.counters.migrations_in.incr();
+    }
+
+    /// Counts one request whose KV left this replica over the interconnect.
+    pub fn note_migration_out(&self) {
+        self.counters.migrations_out.incr();
+    }
+}

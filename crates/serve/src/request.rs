@@ -61,6 +61,11 @@ pub struct ServeConfig {
     pub kv_capacity_bytes: Option<u64>,
     /// Tokens per KV block.
     pub kv_block_tokens: usize,
+    /// Number of distinct sessions the requests belong to; request `i` is
+    /// assigned session `i % sessions`. The session id is the
+    /// cache-affinity routing key. `0` (the default) gives every request its
+    /// own session.
+    pub sessions: usize,
     /// Safety bound on engine iterations (a scheduling bug would otherwise
     /// spin forever on the simulated clock).
     pub max_iterations: usize,
@@ -79,6 +84,7 @@ impl Default for ServeConfig {
             policy: Policy::Fifo,
             kv_capacity_bytes: None,
             kv_block_tokens: 16,
+            sessions: 0,
             max_iterations: 100_000,
         }
     }

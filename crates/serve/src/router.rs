@@ -1,0 +1,239 @@
+//! Request routing across replicas.
+//!
+//! Every routing decision — a fresh arrival, an eviction spilling to a
+//! sibling, a draining replica redistributing its residents — goes through a
+//! [`Router`]. The fleet hands the router a deterministic snapshot of every
+//! *accepting* replica ([`ReplicaView`], ascending id) and the request's
+//! session id; the router returns the destination replica id. Routers must
+//! be deterministic in their inputs and call order: the fleet report is
+//! asserted bit-identical across host thread counts and reruns.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic snapshot of one replica, as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaView {
+    /// Replica index within the fleet.
+    pub id: usize,
+    /// KV blocks currently resident (running requests plus migrated-in
+    /// reservations).
+    pub resident_blocks: u64,
+    /// Projected KV demand of the waiting queue, in blocks.
+    pub queued_blocks: u64,
+    /// Total KV pool size in blocks.
+    pub total_blocks: u64,
+    /// Waiting-queue length.
+    pub queue_len: usize,
+    /// Requests currently in the running batch.
+    pub running: usize,
+    /// The replica's simulated clock (busy-until time), seconds.
+    pub clock_s: f64,
+}
+
+/// A request-routing policy. See the module docs for the determinism
+/// contract.
+pub trait Router {
+    /// Stable lowercase policy name, used in report rows and CLI flags.
+    fn name(&self) -> &'static str;
+
+    /// Picks a destination for `session` among `views` — the accepting
+    /// replicas in ascending id order, never empty. Returns the chosen
+    /// replica's `id` (must be one of the views').
+    fn route(&mut self, session: u64, views: &[ReplicaView]) -> usize;
+}
+
+/// The built-in routing policies, selectable on
+/// [`FleetBuilder::router`](crate::FleetBuilder::router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Cycle through the accepting replicas in order.
+    RoundRobin,
+    /// Send to the replica with the fewest KV blocks committed (resident
+    /// plus projected waiting-queue demand); ties break on the lowest id.
+    LeastLoaded,
+    /// Pin each session to a replica by rendezvous (highest-random-weight)
+    /// hash of `(session, replica)`: a session keeps hitting the replica
+    /// that holds its warm KV pages, and removing a replica remaps *only*
+    /// the sessions that lived on it.
+    CacheAffinity,
+}
+
+impl RouterPolicy {
+    /// Stable lowercase name (matches the built router's
+    /// [`Router::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::LeastLoaded => "least-loaded",
+            RouterPolicy::CacheAffinity => "cache-affinity",
+        }
+    }
+
+    /// Constructs a fresh router implementing this policy. The fleet builds
+    /// one per run so reruns start from identical router state.
+    pub fn build(self) -> Box<dyn Router> {
+        match self {
+            RouterPolicy::RoundRobin => Box::new(RoundRobin::default()),
+            RouterPolicy::LeastLoaded => Box::new(LeastLoaded),
+            RouterPolicy::CacheAffinity => Box::new(CacheAffinity),
+        }
+    }
+
+    /// All built-in policies, in reporting order.
+    pub fn all() -> [RouterPolicy; 3] {
+        [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::CacheAffinity,
+        ]
+    }
+}
+
+/// Cycling round-robin over the accepting replicas.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _session: u64, views: &[ReplicaView]) -> usize {
+        let v = &views[self.next % views.len()];
+        self.next = self.next.wrapping_add(1);
+        v.id
+    }
+}
+
+/// Fewest committed KV blocks wins; ties go to the lowest replica id.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl Router for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _session: u64, views: &[ReplicaView]) -> usize {
+        views
+            .iter()
+            .min_by_key(|v| (v.resident_blocks + v.queued_blocks, v.id))
+            .expect("router is never called with zero views")
+            .id
+    }
+}
+
+/// Rendezvous (highest-random-weight) hashing of sessions onto replicas.
+#[derive(Debug, Default)]
+pub struct CacheAffinity;
+
+/// FNV-1a over the little-endian bytes of `x` — the same family the
+/// simulator's pricing cache uses; deterministic across platforms.
+fn fnv1a64(x: u64, seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for b in x.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Router for CacheAffinity {
+    fn name(&self) -> &'static str {
+        "cache-affinity"
+    }
+
+    fn route(&mut self, session: u64, views: &[ReplicaView]) -> usize {
+        views
+            .iter()
+            .max_by_key(|v| (fnv1a64(session, fnv1a64(v.id as u64, 0)), v.id))
+            .expect("router is never called with zero views")
+            .id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: usize, resident: u64, queued: u64) -> ReplicaView {
+        ReplicaView {
+            id,
+            resident_blocks: resident,
+            queued_blocks: queued,
+            total_blocks: 1024,
+            queue_len: 0,
+            running: 0,
+            clock_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_survives_shrinkage() {
+        let mut r = RoundRobin::default();
+        let views: Vec<_> = (0..3).map(|i| view(i, 0, 0)).collect();
+        let picks: Vec<_> = (0..6).map(|_| r.route(0, &views)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        // A replica disappears mid-stream: the cycle continues over the rest.
+        let fewer = vec![view(0, 0, 0), view(2, 0, 0)];
+        let picks: Vec<_> = (0..4).map(|_| r.route(0, &fewer)).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_loaded_picks_min_resident_blocks() {
+        let mut r = LeastLoaded;
+        let views = vec![view(0, 40, 0), view(1, 7, 0), view(2, 12, 0)];
+        assert_eq!(r.route(9, &views), 1);
+        // Queued demand counts as committed load.
+        let views = vec![view(0, 10, 0), view(1, 2, 30), view(2, 12, 0)];
+        assert_eq!(r.route(9, &views), 0);
+        // Ties break on the lowest id.
+        let views = vec![view(0, 5, 0), view(1, 5, 0)];
+        assert_eq!(r.route(9, &views), 0);
+    }
+
+    #[test]
+    fn affinity_is_deterministic_and_spreads_sessions() {
+        let mut r = CacheAffinity;
+        let views: Vec<_> = (0..4).map(|i| view(i, 0, 0)).collect();
+        let a: Vec<_> = (0..256).map(|s| r.route(s, &views)).collect();
+        let b: Vec<_> = (0..256).map(|s| r.route(s, &views)).collect();
+        assert_eq!(a, b, "same session must always map to the same replica");
+        // Load does not perturb the mapping (it is a pure session hash).
+        let loaded: Vec<_> = (0..4).map(|i| view(i, 100 * i as u64, 9)).collect();
+        let c: Vec<_> = (0..256).map(|s| r.route(s, &loaded)).collect();
+        assert_eq!(a, c);
+        // Every replica owns a reasonable share of 256 sessions.
+        for id in 0..4 {
+            let n = a.iter().filter(|&&x| x == id).count();
+            assert!((20..=110).contains(&n), "replica {id} owns {n}/256");
+        }
+    }
+
+    #[test]
+    fn affinity_is_stable_under_replica_failure() {
+        let mut r = CacheAffinity;
+        let full: Vec<_> = (0..4).map(|i| view(i, 0, 0)).collect();
+        let before: Vec<_> = (0..512).map(|s| r.route(s, &full)).collect();
+        // Replica 2 fails: only its sessions may remap.
+        let survivors: Vec<_> = full.iter().copied().filter(|v| v.id != 2).collect();
+        for (s, &was) in before.iter().enumerate() {
+            let now = r.route(s as u64, &survivors);
+            if was == 2 {
+                assert_ne!(now, 2);
+            } else {
+                assert_eq!(now, was, "session {s} moved despite its replica surviving");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in RouterPolicy::all() {
+            assert_eq!(p.build().name(), p.name());
+        }
+    }
+}

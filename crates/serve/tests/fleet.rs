@@ -1,0 +1,312 @@
+//! Integration tests for the fleet serving simulator: determinism across
+//! host thread counts, fault scenarios, legacy-wrapper equivalence, and the
+//! TTFT definition under chunked prefill.
+
+use resoftmax_gpusim::{DeviceSpec, Gpu};
+use resoftmax_model::{build_batched_decode_schedule, ModelConfig, RunParams};
+use resoftmax_serve::{
+    kv_bytes_per_token, run_serve, Error, FleetBuilder, LinkSpec, RouterPolicy, ServeConfig,
+};
+
+fn model() -> ModelConfig {
+    ModelConfig::gpt_neo_1_3b()
+}
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig {
+        requests: 16,
+        arrival_rate_hz: 64.0,
+        prompt_tokens: (64, 192),
+        decode_tokens: (4, 12),
+        max_batch: 4,
+        prefill_chunk: 64,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn fleet_reports_are_bit_identical_across_host_threads() {
+    // Two grid cells (round-robin and least-loaded fleets), evaluated under
+    // 1 and 4 worker threads: all time is simulated, so the serialized
+    // reports must match byte for byte.
+    let cells = [RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded];
+    let run_grid = || {
+        resoftmax_parallel::parallel_map(&cells, |_, &router| {
+            let report = FleetBuilder::new()
+                .model(model())
+                .params(RunParams::new(4096))
+                .replicas(3, &DeviceSpec::a100())
+                .router(router)
+                .link(LinkSpec::nvlink())
+                .workload(small_cfg())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            serde_json::to_string(&report).unwrap()
+        })
+    };
+    resoftmax_parallel::set_thread_override(Some(1));
+    let single = run_grid();
+    resoftmax_parallel::set_thread_override(Some(4));
+    let multi = run_grid();
+    resoftmax_parallel::set_thread_override(None);
+    assert_eq!(single, multi, "fleet reports diverged across thread counts");
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn fleet_reruns_are_identical() {
+    // The second run hits the warm kernel-pricing cache; the report must be
+    // bit-identical to the cold one (and `Fleet::run` must reset all state).
+    let fleet = FleetBuilder::new()
+        .model(model())
+        .params(RunParams::new(4096))
+        .replicas(2, &DeviceSpec::a100())
+        .router(RouterPolicy::CacheAffinity)
+        .workload(small_cfg())
+        .build()
+        .unwrap();
+    let a = fleet.run().unwrap();
+    let b = fleet.run().unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.completed, small_cfg().requests);
+    assert_eq!(a.submitted, small_cfg().requests);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn drain_migrates_residents_and_completes_everything() {
+    // Drain replica 0 early enough that it still holds resident requests:
+    // they must migrate (KV over the link) or re-queue, and the workload
+    // must still finish on the survivor.
+    let cfg = ServeConfig {
+        requests: 12,
+        arrival_rate_hz: 256.0,
+        ..small_cfg()
+    };
+    let report = FleetBuilder::new()
+        .model(model())
+        .params(RunParams::new(4096))
+        .replicas(2, &DeviceSpec::a100())
+        .router(RouterPolicy::RoundRobin)
+        .link(LinkSpec::pcie_gen4())
+        .workload(cfg.clone())
+        .drain_at(0, 0.05)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(report.completed, cfg.requests);
+    assert!(report.replicas[0].drained);
+    assert!(!report.replicas[1].drained);
+    assert!(
+        report.migrations > 0,
+        "an early drain must migrate resident KV: {report:?}"
+    );
+    assert!(report.kv_migrated_bytes > 0);
+    assert!(report.migration_time_s > 0.0);
+    // Everything after the drain lands on replica 1.
+    assert!(report.replicas[1].completed > 0);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn failure_loses_kv_but_the_fleet_recovers() {
+    let cfg = ServeConfig {
+        requests: 12,
+        arrival_rate_hz: 256.0,
+        ..small_cfg()
+    };
+    let report = FleetBuilder::new()
+        .model(model())
+        .params(RunParams::new(4096))
+        .replicas(2, &DeviceSpec::a100())
+        .workload(cfg.clone())
+        .fail_at(1, 0.05)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(report.completed, cfg.requests);
+    assert!(report.replicas[1].failed);
+    // A failed pool cannot migrate: its residents re-prefill from scratch,
+    // so no link traffic is charged for them.
+    assert_eq!(report.replicas[1].completed, 0, "{report:?}");
+    assert!(report.replicas[0].completed == cfg.requests);
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn legacy_wrappers_match_a_one_replica_fleet() {
+    let cfg = ServeConfig {
+        requests: 8,
+        ..small_cfg()
+    };
+    let params = RunParams::new(4096);
+    let legacy = run_serve(&model(), &DeviceSpec::a100(), &params, &cfg).unwrap();
+    let fleet = FleetBuilder::new()
+        .model(model())
+        .params(params)
+        .replica(DeviceSpec::a100())
+        .workload(cfg)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .serve_report();
+    assert_eq!(
+        serde_json::to_string(&legacy).unwrap(),
+        serde_json::to_string(&fleet).unwrap(),
+        "run_serve must be byte-identical to a one-replica fleet"
+    );
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn ttft_is_the_final_prompt_chunk_not_the_first_decode() {
+    // One request, prompt 256 in chunks of 64, 4 output tokens. The first
+    // token is emitted by the *final prefill chunk's* forward pass, so TTFT
+    // is the sum of the four prefill iterations — not that plus the first
+    // single-token decode iteration (the old, wrong definition).
+    let m = model();
+    let params = RunParams::new(4096);
+    let cfg = ServeConfig {
+        requests: 1,
+        prompt_tokens: (256, 256),
+        decode_tokens: (4, 4),
+        max_batch: 1,
+        prefill_chunk: 64,
+        ..ServeConfig::default()
+    };
+    let report = FleetBuilder::new()
+        .model(m.clone())
+        .params(params.clone())
+        .replica(DeviceSpec::a100())
+        .workload(cfg.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // Price the same five iterations by hand, accumulating the clock the
+    // same way the engine does so the comparison is exact.
+    let t0 = resoftmax_serve::poisson_arrivals(&cfg)[0].at_s;
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let mut price = |ctxs: Vec<usize>| -> f64 {
+        gpu.run(&build_batched_decode_schedule(&m, &ctxs, &params))
+            .unwrap();
+        gpu.take_timeline().total_time_s()
+    };
+    let mut clock = t0;
+    for chunk in 0..4 {
+        clock += price((chunk * 64 + 1..=chunk * 64 + 64).collect());
+    }
+    let expected_ttft = clock - t0;
+    let first_decode_dt = price(vec![257]);
+
+    assert_eq!(
+        report.ttft.max_s, expected_ttft,
+        "TTFT must be the final prefill chunk's completion"
+    );
+    assert!(
+        report.ttft.max_s < expected_ttft + first_decode_dt,
+        "TTFT must not include the first decode iteration"
+    );
+    // Tokens 2..4 are decode iterations: exactly decode - 1 TBT samples.
+    assert_eq!(report.tbt.n, 3);
+    assert_eq!(report.decode_tokens, 4);
+}
+
+#[test]
+fn builder_rejects_bad_configurations() {
+    let base = || {
+        FleetBuilder::new()
+            .model(model())
+            .params(RunParams::new(4096))
+            .workload(small_cfg())
+    };
+
+    // No replicas.
+    let e = base().build().unwrap_err();
+    assert!(matches!(e, Error::Config { .. }), "{e}");
+    assert!(e.to_string().contains("at least one replica"), "{e}");
+
+    // A decode range that cannot produce a TBT sample.
+    let mut cfg = small_cfg();
+    cfg.decode_tokens = (1, 8);
+    let e = base()
+        .replica(DeviceSpec::a100())
+        .workload(cfg)
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("TTFT"), "{e}");
+
+    // Every replica has a scripted fault.
+    let e = base()
+        .replicas(2, &DeviceSpec::a100())
+        .fail_at(0, 1.0)
+        .drain_at(1, 2.0)
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("survive"), "{e}");
+
+    // A fault event pointing past the fleet.
+    let e = base()
+        .replica(DeviceSpec::a100())
+        .fail_at(3, 1.0)
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("replica 3"), "{e}");
+
+    // KV pool below one worst-case request.
+    let mut cfg = small_cfg();
+    cfg.kv_capacity_bytes = Some(kv_bytes_per_token(&model()) * 64);
+    let e = base()
+        .replica(DeviceSpec::a100())
+        .workload(cfg)
+        .build()
+        .unwrap_err();
+    assert!(matches!(e, Error::Admission { .. }), "{e}");
+
+    // Sparse models have no decode cost model.
+    let e = FleetBuilder::new()
+        .model(ModelConfig::bigbird_large())
+        .params(RunParams::new(4096))
+        .replica(DeviceSpec::a100())
+        .workload(small_cfg())
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("dense"), "{e}");
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn sessions_pin_to_replicas_under_cache_affinity() {
+    // With 4 sessions and the affinity router, requests of one session all
+    // land on (and stay on) the session's rendezvous replica unless
+    // displaced — with ample KV there are no displacements, so migrations
+    // must be zero.
+    let cfg = ServeConfig {
+        sessions: 4,
+        ..small_cfg()
+    };
+    let report = FleetBuilder::new()
+        .model(model())
+        .params(RunParams::new(4096))
+        .replicas(4, &DeviceSpec::a100())
+        .router(RouterPolicy::CacheAffinity)
+        .workload(cfg.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(report.completed, cfg.requests);
+    assert_eq!(report.migrations, 0);
+    assert_eq!(report.evictions, 0);
+    // 4 sessions over 4 replicas: at most 4 replicas see work, and at least
+    // one does.
+    let active = report.replicas.iter().filter(|r| r.completed > 0).count();
+    assert!((1..=4).contains(&active));
+}

@@ -9,6 +9,11 @@
 //! searches amortize to near-zero after warmup — and with a persisted
 //! [`Tuner`], across processes.
 //!
+//! Fleets tune per replica: [`TunedPlanner::for_fleet`] builds one planner
+//! per replica device (sharing the tuner and its cache), so a heterogeneous
+//! fleet serves each iteration with the schedule tuned for the device it
+//! actually runs on.
+//!
 //! Fallback rules mirror [`crate::SessionTuneExt`]: if tuning fails or the
 //! tuned knobs are not decode-legal for the *exact* row mix, the iteration
 //! is priced with the base parameters (counted on `tune.fallbacks`). The
@@ -24,21 +29,39 @@ use crate::session_ext::apply_knobs;
 use crate::tuner::Tuner;
 
 /// Prices serving iterations with tuned schedules. Construct with
-/// [`TunedPlanner::new`] and pass to [`resoftmax_serve::run_serve_with`].
+/// [`TunedPlanner::new`] (one device) or [`TunedPlanner::for_fleet`] (one
+/// planner per replica) and pass to
+/// [`resoftmax_serve::FleetBuilder::planner`] or
+/// [`resoftmax_serve::run_serve_with`].
 pub struct TunedPlanner<'a> {
     tuner: &'a Tuner,
-    model: &'a ModelConfig,
-    device: &'a DeviceSpec,
+    model: ModelConfig,
+    device: DeviceSpec,
 }
 
 impl<'a> TunedPlanner<'a> {
     /// A planner tuning iterations of `model` on `device` through `tuner`.
-    pub fn new(tuner: &'a Tuner, model: &'a ModelConfig, device: &'a DeviceSpec) -> Self {
+    pub fn new(tuner: &'a Tuner, model: &ModelConfig, device: &DeviceSpec) -> Self {
         TunedPlanner {
             tuner,
-            model,
-            device,
+            model: model.clone(),
+            device: device.clone(),
         }
+    }
+
+    /// One planner per fleet replica, in replica order, all sharing `tuner`
+    /// (and therefore its result cache — replicas of the same device type
+    /// reuse each other's searches).
+    pub fn for_fleet(tuner: &'a Tuner, model: &ModelConfig, devices: &[DeviceSpec]) -> Vec<Self> {
+        devices
+            .iter()
+            .map(|d| TunedPlanner::new(tuner, model, d))
+            .collect()
+    }
+
+    /// The device this planner tunes for.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
     }
 }
 
@@ -47,12 +70,12 @@ impl IterationPlanner for TunedPlanner<'_> {
         let workload = TuneWorkload::Decode {
             ctxs: ctxs.to_vec(),
         };
-        let Ok(tuned) = self.tuner.tune(self.model, self.device, &workload) else {
+        let Ok(tuned) = self.tuner.tune(&self.model, &self.device, &workload) else {
             resoftmax_obs::counter("tune.fallbacks").incr();
             return base.clone();
         };
         let candidate = apply_knobs(base, &tuned.params);
-        if precheck_decode(self.model, ctxs, &candidate).is_ok() {
+        if precheck_decode(&self.model, ctxs, &candidate).is_ok() {
             candidate
         } else {
             resoftmax_obs::counter("tune.fallbacks").incr();
@@ -66,7 +89,9 @@ mod tests {
     use super::*;
     use crate::search::SearchMode;
     use crate::space::SearchSpace;
-    use resoftmax_serve::{run_serve, run_serve_with, ServeConfig};
+    use resoftmax_serve::{
+        run_serve, run_serve_with, FleetBuilder, IterationPlanner, RouterPolicy, ServeConfig,
+    };
 
     fn cfg() -> ServeConfig {
         ServeConfig {
@@ -99,5 +124,34 @@ mod tests {
         let rerun = run_serve_with(&model, &device, &params, &cfg(), &planner).unwrap();
         assert_eq!(rerun, tuned);
         assert!(resoftmax_obs::counter("tune.cache_hits").get() > hits);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+    fn heterogeneous_fleet_tunes_per_replica_device() {
+        let model = ModelConfig::gpt_neo_1_3b();
+        let devices = [DeviceSpec::a100(), DeviceSpec::t4()];
+        let params = RunParams::new(4096);
+        let tuner = Tuner::new(SearchSpace::smoke(), SearchMode::Exhaustive);
+        let planners = TunedPlanner::for_fleet(&tuner, &model, &devices);
+        assert_eq!(planners.len(), 2);
+        assert_eq!(planners[1].device().name, "T4");
+
+        let mut builder = FleetBuilder::new()
+            .model(model)
+            .params(params)
+            .router(RouterPolicy::LeastLoaded)
+            .workload(cfg());
+        for (d, p) in devices.iter().zip(&planners) {
+            builder = builder
+                .replica(d.clone())
+                .planner(p as &dyn IterationPlanner);
+        }
+        let report = builder.build().unwrap().run().unwrap();
+        assert_eq!(report.completed, cfg().requests);
+        assert_eq!(report.replicas[0].device, "A100");
+        assert_eq!(report.replicas[1].device, "T4");
+        // Both device types were tuned (distinct cache keys per device).
+        assert!(tuner.entries() >= 2, "entries: {}", tuner.entries());
     }
 }

@@ -12,6 +12,9 @@
 //! * [`sparse`] — block-sparse layouts and attention patterns.
 //! * [`kernels`] — the kernel catalog: numerics + cost profiles.
 //! * [`model`] — transformer configs, schedules, the inference engine.
+//! * [`serve`] — the continuous-batching serving simulator: single-replica
+//!   `run_serve` plus the [`serve::FleetBuilder`] multi-replica cluster
+//!   (routing, KV migration over a modeled interconnect, fault scenarios).
 //! * [`core`] — the paper-facing API: recomposition, verification,
 //!   experiment drivers for every table and figure.
 //!
@@ -26,6 +29,7 @@ pub use resoftmax_gpusim as gpusim;
 pub use resoftmax_kernels as kernels;
 pub use resoftmax_model as model;
 pub use resoftmax_obs as obs;
+pub use resoftmax_serve as serve;
 pub use resoftmax_sparse as sparse;
 pub use resoftmax_tensor as tensor;
 
@@ -48,6 +52,12 @@ pub mod prelude {
     pub use resoftmax_obs::{
         counter, float_counter, metrics_snapshot, recorder, span, ChromeTraceSink, JsonMetricsSink,
         SummarySink,
+    };
+    // `Error` already names the model error above; the serve error keeps its
+    // crate prefix as `ServeError`.
+    pub use resoftmax_serve::{
+        run_serve, run_serve_with, Error as ServeError, Fleet, FleetBuilder, FleetEvent,
+        FleetReport, LinkSpec, ReplicaStats, RouterPolicy, ServeConfig, ServeReport,
     };
     pub use resoftmax_sparse::{
         block_sparse_softmax, pattern, sddmm, spmm, BigBirdConfig, BlockLayout, BlockSparseMatrix,
