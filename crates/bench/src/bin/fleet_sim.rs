@@ -1,7 +1,9 @@
 //! Fleet serving simulation: Poisson traffic over a modeled multi-GPU
 //! cluster (8 replicas by default), swept over arrival rate to locate the
-//! TTFT SLO knee, plus router-policy, heterogeneous-fleet, tight-memory, and
-//! fault-scenario rows. Writes `BENCH_fleet.json`.
+//! TTFT SLO knee, plus router-policy, heterogeneous-fleet, tight-memory,
+//! fault-scenario, and prefill/decode-disaggregation rows (unified vs
+//! disaggregated at the same arrival rate, swept over NVLink / PCIe /
+//! 100GbE handoff links). Writes `BENCH_fleet.json`.
 //!
 //! ```text
 //! cargo run --release -p resoftmax-bench --bin fleet_sim [-- out.json] [--smoke]
@@ -111,6 +113,26 @@ fn homogeneous(replicas: usize, requests: usize, rate_hz: f64) -> FleetBuilder<'
         .workload(workload(requests, rate_hz))
 }
 
+/// The same hardware budget as [`homogeneous`], split into dedicated
+/// prefill and decode replicas (a quarter prefill, rounded up to one) with
+/// finished-prefill KV handed off over `link`.
+fn disaggregated(
+    replicas: usize,
+    requests: usize,
+    rate_hz: f64,
+    link: LinkSpec,
+) -> FleetBuilder<'static> {
+    let prefill = (replicas / 4).max(1);
+    FleetBuilder::new()
+        .model(ModelConfig::gpt_neo_1_3b())
+        .params(RunParams::new(PAPER_CTX).strategy(SoftmaxStrategy::Recomposed))
+        .prefill_replicas(prefill, &DeviceSpec::a100())
+        .decode_replicas(replicas - prefill, &DeviceSpec::a100())
+        .router(RouterPolicy::LeastLoaded)
+        .link(link)
+        .workload(workload(requests, rate_hz))
+}
+
 fn run_bench(scale: &Scale) -> FleetBench {
     let n = scale.replicas;
 
@@ -187,6 +209,30 @@ fn run_bench(scale: &Scale) -> FleetBench {
                     .fail_at(1, 2.0)
             })
         }),
+        // Disaggregation: the same hardware split into dedicated prefill
+        // and decode replicas, against a colocated reference at the same
+        // arrival rate, swept over the handoff interconnect — the link is
+        // the knob that decides whether the phase split pays.
+        Box::new(|| {
+            run_fleet("disagg/unified-ref", mid_rate, || {
+                homogeneous(n, scale.sweep_requests, mid_rate)
+            })
+        }),
+        Box::new(|| {
+            run_fleet("disagg/nvlink", mid_rate, || {
+                disaggregated(n, scale.sweep_requests, mid_rate, LinkSpec::nvlink())
+            })
+        }),
+        Box::new(|| {
+            run_fleet("disagg/pcie-gen4", mid_rate, || {
+                disaggregated(n, scale.sweep_requests, mid_rate, LinkSpec::pcie_gen4())
+            })
+        }),
+        Box::new(|| {
+            run_fleet("disagg/100gbe", mid_rate, || {
+                disaggregated(n, scale.sweep_requests, mid_rate, LinkSpec::ethernet_100g())
+            })
+        }),
     ];
     let mut rows = sweep;
     rows.extend(resoftmax_parallel::parallel_map(&scenarios, |_, f| f()));
@@ -241,7 +287,7 @@ fn main() {
         println!(
             "{:<22} {:6.1} req/s  {:>6} reqs  {:8.1} tok/s  ttft p50/p99 \
              {:6.3}/{:6.3}s  tbt p50 {:5.1}ms  evict {:4}  migr {:4} \
-             ({:5.1} MB)  slo {}",
+             ({:5.1} MB)  hoff {:5} ({:7.1} MB)  slo {}",
             r.label,
             r.arrival_rate_hz,
             rep.completed,
@@ -252,6 +298,8 @@ fn main() {
             rep.evictions,
             rep.migrations,
             rep.kv_migrated_bytes as f64 / 1e6,
+            rep.handoffs,
+            rep.kv_handoff_bytes as f64 / 1e6,
             if r.meets_slo { "ok" } else { "MISS" },
         );
     }
@@ -259,6 +307,39 @@ fn main() {
         "SLO knee: {:.1} req/s at TTFT p99 <= {:.1}s",
         bench.knee_rate_hz, bench.slo_ttft_p99_s
     );
+    // Unified-vs-disaggregated comparison at the shared arrival rate: TTFT
+    // moves with the dedicated prefill pool, TBT absorbs the per-request
+    // handoff, and the link preset decides how much.
+    if let Some(unified) = bench.rows.iter().find(|r| r.label == "disagg/unified-ref") {
+        let pct = |new: f64, old: f64| (new / old - 1.0) * 100.0;
+        println!(
+            "\nunified vs disaggregated at {:.1} req/s:\n  {:<22} ttft p50/p99 \
+             {:.3}/{:.3}s  tbt p50 {:.1}ms  (colocated reference)",
+            unified.arrival_rate_hz,
+            unified.label,
+            unified.report.ttft.p50_s,
+            unified.report.ttft.p99_s,
+            unified.report.tbt.p50_s * 1e3,
+        );
+        for r in bench
+            .rows
+            .iter()
+            .filter(|r| r.label.starts_with("disagg/") && r.label != "disagg/unified-ref")
+        {
+            println!(
+                "  {:<22} ttft p50/p99 {:.3}/{:.3}s ({:+.1}% / {:+.1}%)  tbt p50 \
+                 {:.1}ms ({:+.1}%)  handoff {:.3}s wire time",
+                r.label,
+                r.report.ttft.p50_s,
+                r.report.ttft.p99_s,
+                pct(r.report.ttft.p50_s, unified.report.ttft.p50_s),
+                pct(r.report.ttft.p99_s, unified.report.ttft.p99_s),
+                r.report.tbt.p50_s * 1e3,
+                pct(r.report.tbt.p50_s, unified.report.tbt.p50_s),
+                r.report.kv_handoff_time_s,
+            );
+        }
+    }
     let json = serde_json::to_string_pretty(&bench).expect("report serializes");
     std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark report");
     println!("report written to {out_path}");

@@ -7,20 +7,29 @@
 //! [`Fleet`] that builds always runs to completion or returns a typed
 //! [`Error`].
 //!
-//! The run itself is a discrete-event loop over three event sources: fault
-//! injections (fail/drain), workload arrivals, and replica engine steps.
-//! Each replica owns its simulated clock (busy-until time); the fleet always
-//! advances whichever source is earliest, breaking exact ties in the fixed
-//! order *fault ≤ arrival ≤ step* (and lowest replica id among steps). All
-//! time is simulated GPU/interconnect time, so a fleet report is
-//! bit-identical across host thread counts and reruns.
+//! The run itself is a discrete-event loop over four event sources: fault
+//! injections (fail/drain), workload arrivals, prefill→decode KV-handoff
+//! completions, and replica engine steps. Each replica owns its simulated
+//! clock (busy-until time); the fleet always advances whichever source is
+//! earliest, breaking exact ties in the fixed order
+//! *fault ≤ arrival ≤ handoff ≤ step* (handoffs tie on enqueue order, steps
+//! on the lowest replica id). All time is simulated GPU/interconnect time,
+//! so a fleet report is bit-identical across host thread counts and reruns.
+//!
+//! Disaggregation: replicas carry a [`Role`]. Fresh arrivals (and displaced
+//! requests that owe prefill work) route over the *prefill-capable* subset;
+//! when a request finishes its prefill on a `Prefill` replica, its KV pages
+//! are priced across the [`LinkSpec`] — accounted as `kv_handoff_bytes` /
+//! `kv_handoff_time_s`, distinct from rebalancing migrations — and on
+//! transfer completion the request is routed over the *decode-capable*
+//! subset, decoding without re-prefill.
 
 use crate::engine::{BaselinePlanner, IterationPlanner};
 use crate::error::Error;
 use crate::kv::{kv_bytes_per_token, weight_bytes, KvPool};
 use crate::link::LinkSpec;
 use crate::metrics::{FleetReport, Percentiles, ReplicaStats};
-use crate::replica::{Replica, ReqState, StepAcc};
+use crate::replica::{Replica, ReqState, Role, StepAcc};
 use crate::request::{poisson_arrivals, ServeConfig};
 use crate::router::{ReplicaView, Router, RouterPolicy};
 use resoftmax_gpusim::{DeviceSpec, Timeline};
@@ -91,6 +100,7 @@ pub struct FleetBuilder<'a> {
     model: Option<ModelConfig>,
     params: Option<RunParams>,
     replicas: Vec<DeviceSpec>,
+    roles: Vec<Role>,
     router: Option<RouterPolicy>,
     link: Option<LinkSpec>,
     workload: Option<ServeConfig>,
@@ -124,19 +134,75 @@ impl<'a> FleetBuilder<'a> {
         self
     }
 
-    /// Adds one replica on `device`. Call repeatedly for a heterogeneous
-    /// fleet.
+    /// Adds one [`Role::Unified`] replica on `device`. Call repeatedly for a
+    /// heterogeneous fleet.
     #[must_use]
-    pub fn replica(mut self, device: DeviceSpec) -> Self {
-        self.replicas.push(device);
+    pub fn replica(self, device: DeviceSpec) -> Self {
+        self.replica_with_role(device, Role::Unified)
+    }
+
+    /// Adds `n` [`Role::Unified`] replicas of the same `device`.
+    #[must_use]
+    pub fn replicas(mut self, n: usize, device: &DeviceSpec) -> Self {
+        for _ in 0..n {
+            self = self.replica_with_role(device.clone(), Role::Unified);
+        }
         self
     }
 
-    /// Adds `n` replicas of the same `device`.
+    /// Adds one replica with an explicit serving [`Role`]. Replica ids follow
+    /// declaration order regardless of role, so faults, planners, and report
+    /// rows keep addressing replicas by the order they were added.
     #[must_use]
-    pub fn replicas(mut self, n: usize, device: &DeviceSpec) -> Self {
-        self.replicas
-            .extend(std::iter::repeat_with(|| device.clone()).take(n));
+    pub fn replica_with_role(mut self, device: DeviceSpec, role: Role) -> Self {
+        self.replicas.push(device);
+        self.roles.push(role);
+        self
+    }
+
+    /// Adds `n` dedicated prefill replicas of the same `device`. A fleet
+    /// with any [`Role::Prefill`] replica is *disaggregated*: finished
+    /// prefills stream their KV over the [`link`](Self::link) to the
+    /// decode-capable subset, so the builder requires at least one
+    /// [`Role::Decode`] or [`Role::Unified`] replica.
+    ///
+    /// ```
+    /// use resoftmax_serve::{FleetBuilder, LinkSpec, ServeConfig};
+    /// use resoftmax_gpusim::DeviceSpec;
+    /// use resoftmax_model::{ModelConfig, RunParams};
+    ///
+    /// let report = FleetBuilder::new()
+    ///     .model(ModelConfig::gpt_neo_1_3b())
+    ///     .params(RunParams::new(4096))
+    ///     .prefill_replicas(1, &DeviceSpec::a100())
+    ///     .decode_replicas(2, &DeviceSpec::a100())
+    ///     .link(LinkSpec::nvlink())
+    ///     .workload(ServeConfig {
+    ///         requests: 6,
+    ///         ..ServeConfig::default()
+    ///     })
+    ///     .build()?
+    ///     .run()?;
+    /// assert_eq!(report.completed, 6);
+    /// assert_eq!(report.handoffs, 6);
+    /// assert!(report.kv_handoff_bytes > 0);
+    /// # Ok::<(), resoftmax_serve::Error>(())
+    /// ```
+    #[must_use]
+    pub fn prefill_replicas(mut self, n: usize, device: &DeviceSpec) -> Self {
+        for _ in 0..n {
+            self = self.replica_with_role(device.clone(), Role::Prefill);
+        }
+        self
+    }
+
+    /// Adds `n` dedicated decode replicas of the same `device`: they take no
+    /// fresh arrivals and receive handed-off KV from the prefill side.
+    #[must_use]
+    pub fn decode_replicas(mut self, n: usize, device: &DeviceSpec) -> Self {
+        for _ in 0..n {
+            self = self.replica_with_role(device.clone(), Role::Decode);
+        }
         self
     }
 
@@ -210,8 +276,10 @@ impl<'a> FleetBuilder<'a> {
     /// # Errors
     ///
     /// [`Error::Config`] for structural problems (no replicas, invalid
-    /// device/link/workload parameters, fault events leaving no replica
-    /// alive, planner count mismatch), [`Error::Admission`] when a replica's
+    /// device/link/workload parameters, a disaggregated fleet with zero
+    /// decode-capable or zero prefill-capable replicas, fault events leaving
+    /// either capability without a survivor, planner count mismatched
+    /// against the declared roles), [`Error::Admission`] when a replica's
     /// KV pool cannot hold one worst-case request end-to-end, and the
     /// analyzer-gate errors `Session` would raise for the `(model, params)`
     /// pair (decode legality, certified numerics budget).
@@ -233,9 +301,28 @@ impl<'a> FleetBuilder<'a> {
                 "a fleet needs at least one replica: .replica(DeviceSpec::a100())".to_owned(),
             );
         }
+        debug_assert_eq!(self.roles.len(), self.replicas.len());
+        let n_prefill = self.roles.iter().filter(|r| **r == Role::Prefill).count();
+        let n_decode = self.roles.iter().filter(|r| **r == Role::Decode).count();
+        let n_unified = self.replicas.len() - n_prefill - n_decode;
+        if !self.roles.iter().any(|r| r.prefill_capable()) {
+            return config(format!(
+                "every replica is decode-only ({n_decode} decode replicas): arrivals \
+                 need at least one prefill-capable (Prefill or Unified) replica"
+            ));
+        }
+        if n_prefill > 0 && !self.roles.iter().any(|r| r.decode_capable()) {
+            return config(format!(
+                "disaggregated fleet has {n_prefill} prefill replicas but zero decode \
+                 replicas: finished prefills would have nowhere to hand their KV off \
+                 to — add .decode_replicas(..) or a Unified replica"
+            ));
+        }
         if !self.planners.is_empty() && self.planners.len() != self.replicas.len() {
             return config(format!(
-                "attach either no planners or exactly one per replica ({} planners for {} replicas)",
+                "attach either no planners or exactly one per replica, in declaration \
+                 order across every role ({} planners for {} replicas: {n_prefill} \
+                 prefill + {n_decode} decode + {n_unified} unified)",
                 self.planners.len(),
                 self.replicas.len()
             ));
@@ -252,36 +339,8 @@ impl<'a> FleetBuilder<'a> {
 
         // Workload sanity — everything `poisson_arrivals` would panic on,
         // plus the metric-shape requirements.
-        if cfg.requests == 0 {
-            return config("workload must submit at least one request".to_owned());
-        }
-        if !(cfg.arrival_rate_hz > 0.0 && cfg.arrival_rate_hz.is_finite()) {
-            return config(format!(
-                "arrival rate must be positive and finite, got {}",
-                cfg.arrival_rate_hz
-            ));
-        }
-        if cfg.prompt_tokens.0 == 0 || cfg.prompt_tokens.0 > cfg.prompt_tokens.1 {
-            return config(format!(
-                "prompt token range {:?} must be nonempty with a nonzero lower bound",
-                cfg.prompt_tokens
-            ));
-        }
-        if cfg.decode_tokens.0 < 2 || cfg.decode_tokens.0 > cfg.decode_tokens.1 {
-            return config(format!(
-                "decode token range {:?} must be nonempty with a lower bound of at \
-                 least 2 (the first token is the TTFT sample; TBT needs a second)",
-                cfg.decode_tokens
-            ));
-        }
-        if cfg.max_batch == 0 {
-            return config("max_batch must be nonzero".to_owned());
-        }
-        if cfg.prefill_chunk == 0 {
-            return config("prefill_chunk must be nonzero".to_owned());
-        }
-        if cfg.kv_block_tokens == 0 {
-            return config("kv_block_tokens must be nonzero".to_owned());
+        if let Err(reason) = cfg.validate() {
+            return config(reason);
         }
 
         // Fault events must point at real replicas and leave at least one
@@ -308,6 +367,29 @@ impl<'a> FleetBuilder<'a> {
             return config(
                 "every replica has a scripted fault; at least one must survive to \
                  finish the workload"
+                    .to_owned(),
+            );
+        }
+        // In a disaggregated fleet the survivors must cover both phases:
+        // a fleet whose every prefill-capable (or decode-capable) replica is
+        // scripted to fault provably strands work mid-pipeline.
+        let survives = |capable: fn(Role) -> bool| {
+            self.roles
+                .iter()
+                .enumerate()
+                .any(|(i, &r)| capable(r) && !faulted.contains(&i))
+        };
+        if !survives(Role::prefill_capable) {
+            return config(
+                "every prefill-capable replica has a scripted fault; at least one \
+                 must survive to admit arrivals"
+                    .to_owned(),
+            );
+        }
+        if !survives(Role::decode_capable) {
+            return config(
+                "every decode-capable replica has a scripted fault; at least one \
+                 must survive to decode handed-off requests"
                     .to_owned(),
             );
         }
@@ -402,6 +484,7 @@ impl<'a> FleetBuilder<'a> {
             params,
             cfg,
             devices: self.replicas,
+            roles: self.roles,
             pool_caps,
             router: self.router.unwrap_or(RouterPolicy::RoundRobin),
             link,
@@ -439,6 +522,7 @@ pub struct Fleet<'a> {
     params: RunParams,
     cfg: ServeConfig,
     devices: Vec<DeviceSpec>,
+    roles: Vec<Role>,
     pool_caps: Vec<u64>,
     router: RouterPolicy,
     link: LinkSpec,
@@ -447,12 +531,70 @@ pub struct Fleet<'a> {
     migrate_on_evict: bool,
 }
 
-/// The three things the fleet can do next; ordering on equal times is
-/// fault ≤ arrival ≤ step.
+/// The four things the fleet can do next; ordering on equal times is
+/// fault ≤ arrival ≤ handoff ≤ step.
 enum Action {
     Fault,
     Arrival,
+    /// Index into the pending-handoff queue.
+    Handoff(usize),
     Step(usize),
+}
+
+/// A prefill→decode KV transfer in flight over the link.
+#[derive(Debug, Clone, Copy)]
+struct Handoff {
+    /// Request id.
+    id: usize,
+    /// Simulated time the last KV page lands on the decode side.
+    at_s: f64,
+}
+
+/// Which subset of the fleet a piece of work routes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Fresh arrivals and displaced requests that still owe prefill work:
+    /// the prefill-capable subset.
+    Prefill,
+    /// Handed-off or displaced requests whose cache is decode-ready: the
+    /// decode-capable subset.
+    Decode,
+}
+
+/// The routing phase of a displaced request: decode-ready caches go to the
+/// decode side, everything owing prefill work goes to the prefill side.
+fn phase_of(st: &ReqState) -> Phase {
+    if st.generated > 0 && st.cached == st.prefill_target() {
+        Phase::Decode
+    } else {
+        Phase::Prefill
+    }
+}
+
+/// One router instance per routing phase, built from the same policy. The
+/// *state* is per-phase on purpose: a stateful policy (round-robin's cursor)
+/// cycling the prefill subset must not perturb the decode subset's rotation
+/// — with a shared cursor, alternating arrival/handoff traffic in a
+/// disaggregated fleet would pin each subset to one replica.
+struct Routers {
+    prefill: Box<dyn Router>,
+    decode: Box<dyn Router>,
+}
+
+impl Routers {
+    fn new(policy: RouterPolicy) -> Self {
+        Routers {
+            prefill: policy.build(),
+            decode: policy.build(),
+        }
+    }
+
+    fn route(&mut self, phase: Phase, session: u64, views: &[ReplicaView]) -> usize {
+        match phase {
+            Phase::Prefill => self.prefill.route(session, views),
+            Phase::Decode => self.decode.route(session, views),
+        }
+    }
 }
 
 impl Fleet<'_> {
@@ -517,6 +659,7 @@ impl Fleet<'_> {
                 blocks: 0,
                 ready_s: a.at_s,
                 first_token_s: None,
+                last_token_s: a.at_s,
             })
             .collect();
 
@@ -528,14 +671,14 @@ impl Fleet<'_> {
             .enumerate()
             .map(|(i, d)| {
                 let pool = KvPool::new(self.pool_caps[i], cfg.kv_block_tokens, bytes_per_token);
-                let mut r = Replica::new(i, d.clone(), pool);
+                let mut r = Replica::new(i, d.clone(), self.roles[i], pool);
                 if trace {
                     r.timeline = Some(Timeline::new());
                 }
                 r
             })
             .collect();
-        let mut router = self.router.build();
+        let mut routers = Routers::new(self.router);
 
         let mut next_event = 0usize;
         let mut next_arrival = 0usize;
@@ -545,6 +688,9 @@ impl Fleet<'_> {
         let mut migration_drops = 0usize;
         let mut kv_migrated_bytes = 0u64;
         let mut migration_time_s = 0.0f64;
+        let mut pending_handoffs: Vec<Handoff> = Vec::new();
+        let mut kv_handoff_bytes = 0u64;
+        let mut kv_handoff_time_s = 0.0f64;
 
         while acc.completed < cfg.requests {
             assert!(
@@ -556,8 +702,10 @@ impl Fleet<'_> {
             );
 
             // Pick the earliest of: next fault, next arrival, earliest
-            // replica step. Ties resolve fault ≤ arrival ≤ step, and steps
-            // tie on the lowest replica id (strict `<` in the scan).
+            // handoff completion, earliest replica step. Ties resolve
+            // fault ≤ arrival ≤ handoff ≤ step; steps tie on the lowest
+            // replica id and handoffs on enqueue order (strict `<` in both
+            // scans).
             let mut when = f64::INFINITY;
             let mut action: Option<Action> = None;
             for (i, r) in replicas.iter().enumerate() {
@@ -566,6 +714,18 @@ impl Fleet<'_> {
                         when = t;
                         action = Some(Action::Step(i));
                     }
+                }
+            }
+            let mut handoff: Option<(usize, f64)> = None;
+            for (hi, h) in pending_handoffs.iter().enumerate() {
+                if handoff.is_none_or(|(_, t)| h.at_s < t) {
+                    handoff = Some((hi, h.at_s));
+                }
+            }
+            if let Some((hi, t)) = handoff {
+                if t <= when {
+                    when = t;
+                    action = Some(Action::Handoff(hi));
                 }
             }
             if next_arrival < arrivals.len() && arrivals[next_arrival].at_s <= when {
@@ -592,7 +752,7 @@ impl Fleet<'_> {
                         ev,
                         &mut replicas,
                         &mut states,
-                        router.as_mut(),
+                        &mut routers,
                         &mut migrations,
                         &mut migration_drops,
                         &mut kv_migrated_bytes,
@@ -603,21 +763,50 @@ impl Fleet<'_> {
                 Action::Arrival => {
                     let id = next_arrival;
                     next_arrival += 1;
-                    let views = accepting_views(&replicas, &states, usize::MAX);
+                    let views = accepting_views(&replicas, &states, usize::MAX, Phase::Prefill);
                     if views.is_empty() {
                         return Err(Error::Config {
                             reason: format!(
-                                "request {id} arrived at {when:.3}s with every replica \
-                                 drained or failed"
+                                "request {id} arrived at {when:.3}s with every \
+                                 prefill-capable replica drained or failed"
                             ),
                         });
                     }
-                    let dest = router.route(states[id].session, &views);
+                    let dest = routers.route(Phase::Prefill, states[id].session, &views);
                     replicas[dest].waiting.push(id);
+                }
+                Action::Handoff(hi) => {
+                    // `remove` (not `swap_remove`) keeps enqueue order for
+                    // the remaining in-flight transfers, so same-time ties
+                    // stay deterministic.
+                    let h = pending_handoffs.remove(hi);
+                    let id = h.id;
+                    let views = accepting_views(&replicas, &states, usize::MAX, Phase::Decode);
+                    if views.is_empty() {
+                        return Err(Error::Config {
+                            reason: format!(
+                                "request {id} finished its KV handoff at {when:.3}s \
+                                 with every decode-capable replica drained or failed"
+                            ),
+                        });
+                    }
+                    let dest = routers.route(Phase::Decode, states[id].session, &views);
+                    // Reserve the landed pages up front when the pool has
+                    // room; otherwise the request queues with no reservation
+                    // and admission allocates (possibly reclaiming parked
+                    // reservations) later — the cache itself is preserved
+                    // either way, so decode proceeds without re-prefill.
+                    let need = replicas[dest].pool.blocks_for(states[id].cached);
+                    if replicas[dest].pool.try_alloc(need) {
+                        states[id].blocks = need;
+                    }
+                    states[id].ready_s = h.at_s;
+                    replicas[dest].waiting.push(id);
+                    replicas[dest].note_handoff_in();
                 }
                 Action::Step(i) => {
                     replicas[i].clock_s = when;
-                    let evicted = replicas[i].step(
+                    let outcome = replicas[i].step(
                         &mut states,
                         cfg,
                         &self.model,
@@ -626,20 +815,33 @@ impl Fleet<'_> {
                         &mut acc,
                     )?;
                     total_iterations += 1;
-                    for victim in evicted {
+                    for victim in outcome.evicted {
                         self.place_displaced(
                             victim,
                             i,
                             replicas[i].clock_s,
                             &mut replicas,
                             &mut states,
-                            router.as_mut(),
+                            &mut routers,
                             &mut migrations,
                             &mut migration_drops,
                             &mut kv_migrated_bytes,
                             &mut migration_time_s,
                             bytes_per_token,
                         );
+                    }
+                    for id in outcome.handoffs {
+                        // Price the finished prefill's KV pages across the
+                        // link; the request re-enters the fleet when the
+                        // transfer lands (the Handoff action above).
+                        let bytes = states[id].cached as u64 * bytes_per_token;
+                        let transfer = self.link.transfer_time_s(bytes);
+                        kv_handoff_bytes += bytes;
+                        kv_handoff_time_s += transfer;
+                        pending_handoffs.push(Handoff {
+                            id,
+                            at_s: replicas[i].clock_s + transfer,
+                        });
                     }
                 }
             }
@@ -654,16 +856,29 @@ impl Fleet<'_> {
         let evictions: usize = replicas.iter().map(|r| r.evictions).sum();
         let prefill_tokens: u64 = replicas.iter().map(|r| r.prefill_tokens).sum();
         let decode_tokens: u64 = replicas.iter().map(|r| r.decode_tokens).sum();
+        let handoffs: usize = replicas.iter().map(|r| r.handoffs_out).sum();
+        // Prefill rows run on a dedicated decode replica only when a
+        // handed-off request later loses its cache to memory pressure: the
+        // disaggregation contract's "no re-prefill" is this staying zero.
+        let decode_side_prefill_tokens: u64 = replicas
+            .iter()
+            .filter(|r| r.role == Role::Decode)
+            .map(|r| r.prefill_tokens)
+            .sum();
         let replica_stats: Vec<ReplicaStats> = replicas
             .iter()
             .map(|r| ReplicaStats {
                 id: r.id,
                 device: r.device.name.clone(),
+                role: r.role.name().to_owned(),
                 iterations: r.iterations,
                 evictions: r.evictions,
                 completed: r.completed,
                 prefill_tokens: r.prefill_tokens,
                 decode_tokens: r.decode_tokens,
+                handoffs_in: r.handoffs_in,
+                handoffs_out: r.handoffs_out,
+                kv_used_blocks_end: r.pool.used_blocks(),
                 busy_s: r.busy_s,
                 utilization: if sim_time_s > 0.0 {
                     r.busy_s / sim_time_s
@@ -708,6 +923,10 @@ impl Fleet<'_> {
             migration_drops,
             kv_migrated_bytes,
             migration_time_s,
+            handoffs,
+            kv_handoff_bytes,
+            kv_handoff_time_s,
+            decode_side_prefill_tokens,
             sim_time_s,
             prefill_tokens,
             decode_tokens,
@@ -731,7 +950,7 @@ impl Fleet<'_> {
         now_s: f64,
         replicas: &mut [Replica],
         states: &mut [ReqState],
-        router: &mut dyn Router,
+        routers: &mut Routers,
         migrations: &mut usize,
         migration_drops: &mut usize,
         kv_migrated_bytes: &mut u64,
@@ -741,9 +960,13 @@ impl Fleet<'_> {
         debug_assert_eq!(states[id].blocks, 0, "displaced requests hold no blocks");
         let had_cache = states[id].cached > 0;
         if self.migrate_on_evict && had_cache {
-            let views = accepting_views(replicas, states, source);
+            // Migrate toward the subset that can run the request's next
+            // phase: a decode-ready cache goes to the decode side, a partial
+            // prefill back to the prefill side.
+            let phase = phase_of(&states[id]);
+            let views = accepting_views(replicas, states, source, phase);
             if !views.is_empty() {
-                let dest = router.route(states[id].session, &views);
+                let dest = routers.route(phase, states[id].session, &views);
                 let need = replicas[dest].pool.blocks_for(states[id].cached);
                 if replicas[dest].pool.try_alloc(need) {
                     let bytes = states[id].cached as u64 * bytes_per_token;
@@ -763,20 +986,22 @@ impl Fleet<'_> {
         }
         // No migration path: the cache is dropped and the request re-queues
         // wherever the router sends it (the source included, if accepting).
+        // With no cache left it owes prefill work, so it routes over the
+        // prefill-capable subset.
         states[id].cached = 0;
         states[id].ready_s = states[id].ready_s.max(now_s);
         if had_cache {
             *migration_drops += 1;
             resoftmax_obs::counter("serve.migration_drops").incr();
         }
-        let views = accepting_views(replicas, states, usize::MAX);
+        let views = accepting_views(replicas, states, usize::MAX, Phase::Prefill);
         let dest = if views.is_empty() {
             // Every replica is out of rotation; park the request back on the
             // source so the stall surfaces as the typed no-accepting-replica
             // error (or the iteration backstop), not a lost request.
             source
         } else {
-            router.route(states[id].session, &views)
+            routers.route(Phase::Prefill, states[id].session, &views)
         };
         replicas[dest].waiting.push(id);
     }
@@ -788,7 +1013,7 @@ impl Fleet<'_> {
         ev: FleetEvent,
         replicas: &mut [Replica],
         states: &mut [ReqState],
-        router: &mut dyn Router,
+        routers: &mut Routers,
         migrations: &mut usize,
         migration_drops: &mut usize,
         kv_migrated_bytes: &mut u64,
@@ -819,7 +1044,7 @@ impl Fleet<'_> {
         if displaced.is_empty() {
             return Ok(());
         }
-        if accepting_views(replicas, states, usize::MAX).is_empty() {
+        if !replicas.iter().any(|r| r.accepting) {
             return Err(Error::Config {
                 reason: format!(
                     "replica {i} {} at {at_s:.3}s with {} requests resident and no \
@@ -846,7 +1071,7 @@ impl Fleet<'_> {
                 now_s,
                 replicas,
                 states,
-                router,
+                routers,
                 migrations,
                 migration_drops,
                 kv_migrated_bytes,
@@ -858,14 +1083,24 @@ impl Fleet<'_> {
     }
 }
 
-/// Deterministic router snapshot of every accepting replica except
-/// `exclude`, ascending id.
-fn accepting_views(replicas: &[Replica], states: &[ReqState], exclude: usize) -> Vec<ReplicaView> {
+/// Deterministic router snapshot of every accepting replica that can run
+/// `phase` work, except `exclude`, ascending id.
+fn accepting_views(
+    replicas: &[Replica],
+    states: &[ReqState],
+    exclude: usize,
+    phase: Phase,
+) -> Vec<ReplicaView> {
     replicas
         .iter()
         .filter(|r| r.accepting && r.id != exclude)
+        .filter(|r| match phase {
+            Phase::Prefill => r.role.prefill_capable(),
+            Phase::Decode => r.role.decode_capable(),
+        })
         .map(|r| ReplicaView {
             id: r.id,
+            role: r.role,
             resident_blocks: r.pool.used_blocks(),
             queued_blocks: r
                 .waiting

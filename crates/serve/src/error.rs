@@ -14,7 +14,11 @@ pub enum Error {
     /// The fleet configuration is invalid (caught at
     /// [`FleetBuilder::build`](crate::FleetBuilder::build), before any
     /// simulation runs): no replicas, a bad workload range, an invalid
-    /// device spec, a router/link parameter out of range.
+    /// device spec, a router/link parameter out of range, a disaggregated
+    /// fleet with prefill replicas but zero decode-capable replicas (or no
+    /// prefill-capable replica at all), scripted faults leaving a phase
+    /// with no surviving replica, or a planner count that does not match
+    /// the declared replica roles.
     Config {
         /// What is wrong and, where possible, what would fix it.
         reason: String,

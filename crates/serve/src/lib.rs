@@ -15,7 +15,12 @@
 //! mix of device presets), each with its own GPU and KV-pool shard, behind a
 //! pluggable [`Router`] (round-robin, least-loaded, cache-affinity), with an
 //! interconnect cost model ([`LinkSpec`]) charging KV migration whenever a
-//! request is rebalanced, and scripted replica faults (fail/drain).
+//! request is rebalanced, and scripted replica faults (fail/drain). Replicas
+//! carry a serving [`Role`]: the default `Unified` colocates both phases,
+//! while `FleetBuilder::prefill_replicas` / `decode_replicas` build a
+//! *disaggregated* fleet whose finished prefills stream their KV across the
+//! link to dedicated decode replicas (prefill is DRAM-traffic-bound, decode
+//! latency-bound — the paper's recomposition pressure differs per phase).
 //!
 //! Everything runs on a *simulated* clock (the GPU timeline advances it), so
 //! reports are bit-identical regardless of the host's worker-thread count.
@@ -61,7 +66,8 @@ pub use engine::{run_serve, run_serve_with, BaselinePlanner, IterationPlanner};
 pub use error::Error;
 pub use kv::{kv_bytes_per_token, weight_bytes, KvPool};
 pub use link::LinkSpec;
-pub use metrics::{FleetReport, Percentiles, ReplicaStats, ServeReport};
+pub use metrics::{nearest_rank_index, FleetReport, Percentiles, ReplicaStats, ServeReport};
+pub use replica::Role;
 pub use request::{poisson_arrivals, Arrival, Policy, ServeConfig};
 pub use router::{CacheAffinity, LeastLoaded, ReplicaView, RoundRobin, Router, RouterPolicy};
 
@@ -73,6 +79,7 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::link::LinkSpec;
     pub use crate::metrics::{FleetReport, Percentiles, ReplicaStats, ServeReport};
+    pub use crate::replica::Role;
     pub use crate::request::{Arrival, Policy, ServeConfig};
     pub use crate::router::{ReplicaView, Router, RouterPolicy};
 }

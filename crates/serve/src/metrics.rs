@@ -19,9 +19,32 @@ pub struct Percentiles {
     pub max_s: f64,
 }
 
+/// Zero-based index of the nearest-rank `percent`-ile over a sorted sample
+/// of `n` items, computed in exact integer arithmetic:
+/// `rank = max(1, ceil(n · percent / 100))`, index `rank - 1`.
+///
+/// Float rank arithmetic (`(p * n as f64).ceil()`) is *not* equivalent: the
+/// f64 rounding of `p` can push `p * n` just above an exact integer rank, so
+/// `ceil` overshoots by one — e.g. `0.07f64 * 100.0 == 7.000000000000001`,
+/// turning the p7 of 100 samples into the 8th sample instead of the 7th.
+/// Integer rank math cannot overshoot by construction.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `percent` is outside `1..=100`.
+pub fn nearest_rank_index(n: usize, percent: usize) -> usize {
+    assert!(n > 0, "nearest rank needs at least one sample");
+    assert!(
+        (1..=100).contains(&percent),
+        "percent must be in 1..=100, got {percent}"
+    );
+    (n * percent).div_ceil(100).max(1) - 1
+}
+
 impl Percentiles {
-    /// Computes nearest-rank percentiles. Sorting uses total order, so the
-    /// result is deterministic for any input permutation.
+    /// Computes nearest-rank percentiles with exact integer rank math (see
+    /// [`nearest_rank_index`]). Sorting uses total order, so the result is
+    /// deterministic for any input permutation.
     ///
     /// # Panics
     ///
@@ -31,13 +54,13 @@ impl Percentiles {
         assert!(!samples.is_empty(), "percentiles need at least one sample");
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
-        let rank = |p: f64| sorted[((p * sorted.len() as f64).ceil() as usize).max(1) - 1];
+        let rank = |percent: usize| sorted[nearest_rank_index(sorted.len(), percent)];
         Percentiles {
             n: sorted.len(),
             mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50_s: rank(0.50),
-            p90_s: rank(0.90),
-            p99_s: rank(0.99),
+            p50_s: rank(50),
+            p90_s: rank(90),
+            p99_s: rank(99),
             max_s: *sorted.last().expect("nonempty"),
         }
     }
@@ -53,7 +76,12 @@ impl Percentiles {
 /// completion of that chunk — not the completion of an earlier prefill
 /// chunk, and not the first single-token decode iteration (which emits the
 /// *second* token). `tbt` measures the gaps between consecutive output
-/// tokens, so the first token contributes to `ttft` only.
+/// tokens — the simulated time between one token's emission and the next,
+/// which includes any stall while the request waits (eviction re-queue, a
+/// prefill→decode KV handoff in flight) — so the first token contributes to
+/// `ttft` only. Percentiles over both are *nearest-rank* with exact integer
+/// rank math (`rank = max(1, ceil(n · p / 100))` — see
+/// [`nearest_rank_index`]), never interpolated.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Softmax strategy the engine ran ("baseline", "recomposed", ...).
@@ -94,6 +122,8 @@ pub struct ReplicaStats {
     pub id: usize,
     /// Device name ("A100", "T4", ...).
     pub device: String,
+    /// Serving role ("prefill", "decode", "unified").
+    pub role: String,
     /// Engine iterations this replica executed.
     pub iterations: usize,
     /// Evictions this replica performed.
@@ -113,6 +143,15 @@ pub struct ReplicaStats {
     /// Mean of the per-iteration KV occupancy samples (0 when the replica
     /// never ran an iteration).
     pub kv_mean_occupancy: f64,
+    /// KV blocks still allocated when the run ended. A completed workload
+    /// leaves every pool empty, so this is 0 for every replica of a
+    /// successful run — any other value is an alloc/free accounting leak.
+    pub kv_used_blocks_end: u64,
+    /// Requests whose finished prefill KV this replica streamed to a decode
+    /// replica (prefill→decode disaggregation handoffs).
+    pub handoffs_out: usize,
+    /// Handed-off requests whose KV landed here for decoding.
+    pub handoffs_in: usize,
     /// `true` once a drain event retired this replica.
     pub drained: bool,
     /// `true` once a fail event killed this replica.
@@ -151,6 +190,19 @@ pub struct FleetReport {
     pub kv_migrated_bytes: u64,
     /// Simulated seconds spent on the wire by migrated KV.
     pub migration_time_s: f64,
+    /// Prefill→decode handoffs: requests whose finished prefill KV streamed
+    /// from a prefill replica to a decode replica over the link (distinct
+    /// from rebalancing `migrations`).
+    pub handoffs: usize,
+    /// KV bytes that crossed the interconnect in handoffs.
+    pub kv_handoff_bytes: u64,
+    /// Simulated seconds spent on the wire by handed-off KV.
+    pub kv_handoff_time_s: f64,
+    /// Prompt tokens prefilled on `Role::Decode` replicas. Nonzero only in
+    /// the degenerate path where a handed-off request lost its cache to
+    /// memory pressure on the decode side and had to re-prefill there; an
+    /// amply-provisioned disaggregated fleet keeps this at 0.
+    pub decode_side_prefill_tokens: u64,
     /// Simulated wall-clock at the last completion, seconds.
     pub sim_time_s: f64,
     /// Prompt tokens prefilled fleet-wide.
@@ -218,5 +270,83 @@ mod tests {
         let a = Percentiles::from_samples(&[3.0, 1.0, 2.0, 5.0, 4.0]);
         let b = Percentiles::from_samples(&[5.0, 4.0, 3.0, 2.0, 1.0]);
         assert_eq!(a, b);
+    }
+
+    /// The float rank path this replaced: `ceil(p · n)` with `p` an f64.
+    fn float_rank_index(n: usize, p: f64) -> usize {
+        ((p * n as f64).ceil() as usize).max(1) - 1
+    }
+
+    #[test]
+    fn integer_rank_is_exact_at_small_sample_counts() {
+        // p90 of 10 samples is the 9th sample (rank ceil(10·0.9) = 9), never
+        // the max; p90 of 20 is the 18th; p99 of 1000 is the 990th.
+        let n10: Vec<f64> = (1..=10).map(f64::from).collect();
+        let p = Percentiles::from_samples(&n10);
+        assert_eq!(p.p90_s, 9.0, "p90 of 10 samples is the 9th, not the max");
+        assert_eq!(p.p50_s, 5.0);
+        assert_eq!(p.p99_s, 10.0);
+
+        let n20: Vec<f64> = (1..=20).map(f64::from).collect();
+        let p = Percentiles::from_samples(&n20);
+        assert_eq!(p.p90_s, 18.0);
+        assert_eq!(p.p50_s, 10.0);
+
+        let n1000: Vec<f64> = (1..=1000).map(f64::from).collect();
+        let p = Percentiles::from_samples(&n1000);
+        assert_eq!(p.p90_s, 900.0);
+        assert_eq!(p.p99_s, 990.0);
+        assert_eq!(p.p50_s, 500.0);
+    }
+
+    #[test]
+    fn float_rank_overshoots_where_integer_rank_cannot() {
+        // The float path is provably wrong for percentiles whose f64
+        // rounding lands *above* the decimal value: 0.07 rounds up, so
+        // 0.07 · 100 == 7.000000000000001 and ceil overshoots to rank 8.
+        // (0.50/0.90/0.99 happen to round safely on IEEE-754 — 0.90 rounds
+        // up but by less than a half-ulp of its products, and 0.99 rounds
+        // down, which ceil forgives — so the three shipped percentiles
+        // agreed by luck; the integer path removes the luck.)
+        assert_eq!(0.07f64 * 100.0, 7.000000000000001);
+        assert_eq!(float_rank_index(100, 0.07), 7, "float path overshoots");
+        assert_eq!(nearest_rank_index(100, 7), 6, "exact rank is the 7th");
+        // More float-path overshoots at other sample counts, all of which
+        // the integer path gets right.
+        for (n, percent) in [(200usize, 7usize), (50, 14), (400, 28), (25, 28)] {
+            let exact = (n * percent).div_ceil(100) - 1;
+            assert_eq!(nearest_rank_index(n, percent), exact);
+            assert_eq!(
+                float_rank_index(n, percent as f64 / 100.0),
+                exact + 1,
+                "expected the float path to overshoot at p{percent} of {n}"
+            );
+        }
+        // And the shipped percentiles stay in exact agreement at every
+        // realistic sample count (documents the "no BENCH shift" claim).
+        for n in 1..=4096usize {
+            for percent in [50usize, 90, 99] {
+                assert_eq!(
+                    nearest_rank_index(n, percent),
+                    float_rank_index(n, percent as f64 / 100.0),
+                    "p{percent} of {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_rank_index_bounds() {
+        assert_eq!(nearest_rank_index(1, 1), 0);
+        assert_eq!(nearest_rank_index(1, 100), 0);
+        assert_eq!(nearest_rank_index(10, 1), 0, "low percentiles clamp to 1");
+        assert_eq!(nearest_rank_index(10, 100), 9);
+        assert_eq!(nearest_rank_index(3, 50), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "percent")]
+    fn nearest_rank_index_rejects_percent_zero() {
+        let _ = nearest_rank_index(10, 0);
     }
 }

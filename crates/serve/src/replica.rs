@@ -11,6 +11,14 @@
 //! sibling replica over the interconnect); the oldest running request is
 //! never evicted, so the head of the line always progresses and the loop
 //! terminates.
+//!
+//! In a *disaggregated* fleet a replica additionally carries a [`Role`]: a
+//! `Prefill` replica runs only chunked prefill and, on a request's final
+//! prefill chunk (the one whose forward pass emits the first token), hands
+//! the request off — its KV pages leave this pool and stream over the
+//! interconnect to a decode replica the fleet picks. A `Decode` replica
+//! takes no fresh arrivals; it receives handed-off KV and decodes. `Unified`
+//! is the classic colocated engine doing both.
 
 use crate::engine::IterationPlanner;
 use crate::error::Error;
@@ -19,6 +27,50 @@ use crate::request::{Policy, ServeConfig};
 use resoftmax_gpusim::{DeviceSpec, Gpu, Timeline};
 use resoftmax_model::{build_batched_decode_schedule, ModelConfig, RunParams};
 use resoftmax_obs::Counter;
+
+/// A replica's serving role in a (possibly disaggregated) fleet.
+///
+/// Prefill is DRAM-traffic-bound and decode is latency-bound, so dedicating
+/// replicas per phase lets each run the batch shape it is good at: prefill
+/// replicas never stall a prompt behind a decode batch, and decode replicas
+/// never see a prompt chunk inflate an iteration. The price is the KV
+/// handoff: the finished prefill's cache crosses the interconnect before
+/// the first decode step can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Runs only chunked prefill; on a request's final prefill chunk its KV
+    /// pages stream to a decode replica over the link.
+    Prefill,
+    /// Receives handed-off KV and decodes. Takes no fresh arrivals (it can
+    /// still re-prefill a resident request that lost its cache to memory
+    /// pressure — tracked as `decode_side_prefill_tokens`).
+    Decode,
+    /// Classic colocated serving: prefill and decode on one engine.
+    Unified,
+}
+
+impl Role {
+    /// Stable lowercase name, used in report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Prefill => "prefill",
+            Role::Decode => "decode",
+            Role::Unified => "unified",
+        }
+    }
+
+    /// `true` when this replica is routed fresh arrivals and displaced
+    /// requests that still owe prefill work.
+    pub fn prefill_capable(self) -> bool {
+        matches!(self, Role::Prefill | Role::Unified)
+    }
+
+    /// `true` when this replica is routed KV handoffs and displaced
+    /// decode-phase requests.
+    pub fn decode_capable(self) -> bool {
+        matches!(self, Role::Decode | Role::Unified)
+    }
+}
 
 /// Fleet-level scheduling state of one request.
 #[derive(Debug, Clone)]
@@ -37,9 +89,14 @@ pub(crate) struct ReqState {
     /// Pool blocks held on the replica currently hosting the request.
     pub blocks: u64,
     /// Earliest simulated time the request can run (arrival time, or the
-    /// completion of an in-flight KV migration).
+    /// completion of an in-flight KV migration or prefill→decode handoff).
     pub ready_s: f64,
     pub first_token_s: Option<f64>,
+    /// Emission time of the latest output token (meaningful once
+    /// `generated > 0`): the TBT sample for token *k+1* is the simulated
+    /// gap since token *k*, which charges eviction re-queues and in-flight
+    /// handoffs to the tokens they actually delay.
+    pub last_token_s: f64,
 }
 
 impl ReqState {
@@ -76,6 +133,8 @@ struct ReplicaCounters {
     completed: Counter,
     migrations_in: Counter,
     migrations_out: Counter,
+    handoffs_in: Counter,
+    handoffs_out: Counter,
 }
 
 impl ReplicaCounters {
@@ -89,6 +148,8 @@ impl ReplicaCounters {
             completed: c("completed"),
             migrations_in: c("migrations_in"),
             migrations_out: c("migrations_out"),
+            handoffs_in: c("handoffs_in"),
+            handoffs_out: c("handoffs_out"),
         }
     }
 }
@@ -97,6 +158,7 @@ impl ReplicaCounters {
 pub(crate) struct Replica {
     pub id: usize,
     pub device: DeviceSpec,
+    pub role: Role,
     pub gpu: Gpu,
     pub pool: KvPool,
     /// Simulated time this replica is committed through (busy-until).
@@ -117,6 +179,8 @@ pub(crate) struct Replica {
     pub completed: usize,
     pub prefill_tokens: u64,
     pub decode_tokens: u64,
+    pub handoffs_in: usize,
+    pub handoffs_out: usize,
     pub busy_s: f64,
     pub occ_sum: f64,
     pub occ_n: usize,
@@ -135,12 +199,25 @@ pub(crate) struct StepAcc {
     pub last_completion_s: f64,
 }
 
+/// What one engine iteration hands back to the fleet for re-routing.
+#[derive(Debug, Default)]
+pub(crate) struct StepOutcome {
+    /// Requests evicted this iteration, in eviction order; the fleet decides
+    /// whether their KV pages migrate to a sibling or drop.
+    pub evicted: Vec<usize>,
+    /// Requests that finished their prefill on a `Prefill` replica this
+    /// iteration and still owe decode tokens: their KV pages have left this
+    /// pool and must be priced across the link to a decode replica.
+    pub handoffs: Vec<usize>,
+}
+
 impl Replica {
-    pub fn new(id: usize, device: DeviceSpec, pool: KvPool) -> Self {
+    pub fn new(id: usize, device: DeviceSpec, role: Role, pool: KvPool) -> Self {
         Replica {
             id,
             gpu: Gpu::new(device.clone()),
             device,
+            role,
             pool,
             clock_s: 0.0,
             accepting: true,
@@ -153,6 +230,8 @@ impl Replica {
             completed: 0,
             prefill_tokens: 0,
             decode_tokens: 0,
+            handoffs_in: 0,
+            handoffs_out: 0,
             busy_s: 0.0,
             occ_sum: 0.0,
             occ_n: 0,
@@ -254,7 +333,7 @@ impl Replica {
 
     /// Runs one engine iteration at `self.clock_s` (the caller has already
     /// advanced it to this replica's next-action time). Returns the evicted
-    /// request ids, in eviction order, for the fleet to re-route.
+    /// and handed-off request ids for the fleet to re-route.
     pub fn step(
         &mut self,
         states: &mut [ReqState],
@@ -263,7 +342,7 @@ impl Replica {
         params: &RunParams,
         planner: &dyn IterationPlanner,
         acc: &mut StepAcc,
-    ) -> Result<Vec<usize>, Error> {
+    ) -> Result<StepOutcome, Error> {
         self.admit(states, cfg);
 
         // Build this iteration's rows, oldest request first. Decode rows
@@ -337,6 +416,7 @@ impl Replica {
 
         // Step the per-request state.
         let mut finished: Vec<usize> = Vec::new();
+        let mut handoffs: Vec<usize> = Vec::new();
         let mut complete = |st: &mut ReqState, id: usize, pool: &mut KvPool, n: &mut usize| {
             pool.free(st.blocks);
             st.blocks = 0;
@@ -362,10 +442,25 @@ impl Replica {
                         self.counters.decode_tokens.incr();
                         resoftmax_obs::counter("serve.decode_tokens").incr();
                         st.first_token_s = Some(self.clock_s);
+                        st.last_token_s = self.clock_s;
                         acc.ttft.push(self.clock_s - st.arrival_s);
                         if st.generated == st.decode {
                             complete(st, id, &mut self.pool, &mut self.completed);
+                        } else if self.role == Role::Prefill {
+                            // Prefill-only replica: the request owes decode
+                            // tokens, so its KV pages leave for the decode
+                            // side. (TBT for token two starts ticking now —
+                            // the link transfer shows up in that gap.)
+                            handoffs.push(id);
                         }
+                    } else if st.generated > 0
+                        && st.cached == st.prefill_target()
+                        && self.role == Role::Prefill
+                    {
+                        // A displaced request re-prefilled its lost cache
+                        // here; no token is emitted (the next decode pass
+                        // does that), but the restored KV now hands off.
+                        handoffs.push(id);
                     }
                 }
                 Row::Decode { id } => {
@@ -379,18 +474,34 @@ impl Replica {
                         st.first_token_s.is_some(),
                         "decode rows only run after the prefill that emits token one"
                     );
-                    acc.tbt.push(dt);
+                    // TBT is the simulated gap between consecutive output
+                    // tokens, not the iteration time: eviction re-queues and
+                    // prefill→decode handoffs land in the token they delay.
+                    acc.tbt.push(self.clock_s - st.last_token_s);
+                    st.last_token_s = self.clock_s;
                     if st.generated == st.decode {
                         complete(st, id, &mut self.pool, &mut self.completed);
                     }
                 }
             }
         }
+        for &id in &handoffs {
+            // The KV pages depart over the link: free this pool's blocks but
+            // keep `cached` — the decode side receives the pages, it does
+            // not recompute them.
+            self.release(states, id);
+            self.handoffs_out += 1;
+            self.counters.handoffs_out.incr();
+            resoftmax_obs::counter("serve.handoffs").incr();
+        }
         if !finished.is_empty() {
             self.counters.completed.add(finished.len() as u64);
-            self.running.retain(|id| !finished.contains(id));
         }
-        Ok(evicted)
+        if !finished.is_empty() || !handoffs.is_empty() {
+            self.running
+                .retain(|id| !finished.contains(id) && !handoffs.contains(id));
+        }
+        Ok(StepOutcome { evicted, handoffs })
     }
 
     /// Counts one migrated-in request (fleet bookkeeping hook).
@@ -401,5 +512,11 @@ impl Replica {
     /// Counts one request whose KV left this replica over the interconnect.
     pub fn note_migration_out(&self) {
         self.counters.migrations_out.incr();
+    }
+
+    /// Counts one handed-off request arriving on this (decode) replica.
+    pub fn note_handoff_in(&mut self) {
+        self.handoffs_in += 1;
+        self.counters.handoffs_in.incr();
     }
 }

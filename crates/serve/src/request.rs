@@ -71,6 +71,51 @@ pub struct ServeConfig {
     pub max_iterations: usize,
 }
 
+impl ServeConfig {
+    /// Workload sanity checks — everything [`poisson_arrivals`] would panic
+    /// on, plus the metric-shape requirements. `FleetBuilder::build` calls
+    /// this and wraps the message in `Error::Config`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when any field is degenerate (zero requests,
+    /// non-positive rate, empty token ranges, zero batch/chunk/block sizes).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.requests == 0 {
+            return Err("workload must submit at least one request".to_owned());
+        }
+        if !(self.arrival_rate_hz > 0.0 && self.arrival_rate_hz.is_finite()) {
+            return Err(format!(
+                "arrival rate must be positive and finite, got {}",
+                self.arrival_rate_hz
+            ));
+        }
+        if self.prompt_tokens.0 == 0 || self.prompt_tokens.0 > self.prompt_tokens.1 {
+            return Err(format!(
+                "prompt token range {:?} must be nonempty with a nonzero lower bound",
+                self.prompt_tokens
+            ));
+        }
+        if self.decode_tokens.0 < 2 || self.decode_tokens.0 > self.decode_tokens.1 {
+            return Err(format!(
+                "decode token range {:?} must be nonempty with a lower bound of at \
+                 least 2 (the first token is the TTFT sample; TBT needs a second)",
+                self.decode_tokens
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be nonzero".to_owned());
+        }
+        if self.prefill_chunk == 0 {
+            return Err("prefill_chunk must be nonzero".to_owned());
+        }
+        if self.kv_block_tokens == 0 {
+            return Err("kv_block_tokens must be nonzero".to_owned());
+        }
+        Ok(())
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -147,6 +192,24 @@ mod tests {
             (expect / 3.0..expect * 3.0).contains(&mean_gap),
             "mean gap {mean_gap}"
         );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(ServeConfig::default().validate().is_ok());
+        let bad = |f: fn(&mut ServeConfig)| {
+            let mut c = ServeConfig::default();
+            f(&mut c);
+            c.validate().unwrap_err()
+        };
+        assert!(bad(|c| c.requests = 0).contains("at least one request"));
+        assert!(bad(|c| c.arrival_rate_hz = 0.0).contains("positive"));
+        assert!(bad(|c| c.arrival_rate_hz = f64::INFINITY).contains("finite"));
+        assert!(bad(|c| c.prompt_tokens = (0, 4)).contains("prompt"));
+        assert!(bad(|c| c.decode_tokens = (1, 4)).contains("TTFT"));
+        assert!(bad(|c| c.max_batch = 0).contains("max_batch"));
+        assert!(bad(|c| c.prefill_chunk = 0).contains("prefill_chunk"));
+        assert!(bad(|c| c.kv_block_tokens = 0).contains("kv_block_tokens"));
     }
 
     #[test]

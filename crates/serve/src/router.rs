@@ -1,13 +1,17 @@
 //! Request routing across replicas.
 //!
 //! Every routing decision — a fresh arrival, an eviction spilling to a
-//! sibling, a draining replica redistributing its residents — goes through a
-//! [`Router`]. The fleet hands the router a deterministic snapshot of every
-//! *accepting* replica ([`ReplicaView`], ascending id) and the request's
-//! session id; the router returns the destination replica id. Routers must
-//! be deterministic in their inputs and call order: the fleet report is
+//! sibling, a draining replica redistributing its residents, a finished
+//! prefill handing its KV to the decode side — goes through a [`Router`].
+//! The fleet hands the router a deterministic snapshot of every *accepting*
+//! replica that can take the work ([`ReplicaView`], ascending id — in a
+//! disaggregated fleet arrivals see only the prefill-capable subset and KV
+//! handoffs only the decode-capable subset) and the request's session id;
+//! the router returns the destination replica id. Routers must be
+//! deterministic in their inputs and call order: the fleet report is
 //! asserted bit-identical across host thread counts and reruns.
 
+use crate::replica::Role;
 use serde::{Deserialize, Serialize};
 
 /// A deterministic snapshot of one replica, as the router sees it.
@@ -15,6 +19,10 @@ use serde::{Deserialize, Serialize};
 pub struct ReplicaView {
     /// Replica index within the fleet.
     pub id: usize,
+    /// The replica's serving role. Views are already filtered to the subset
+    /// that can take the work being routed; the role is informational (a
+    /// custom router may still weight unified replicas differently).
+    pub role: Role,
     /// KV blocks currently resident (running requests plus migrated-in
     /// reservations).
     pub resident_blocks: u64,
@@ -89,10 +97,20 @@ impl RouterPolicy {
     }
 }
 
-/// Cycling round-robin over the accepting replicas.
+/// Cycling round-robin over the accepting replicas, tracked by replica *id*
+/// rather than a position counter.
+///
+/// A global counter taken modulo the *current* view count aliases across
+/// accepting-set changes: after two routes over `[0, 1, 2]` the counter
+/// stands at 2, and if replica 0 then drains, `2 % 2` serves replica 1
+/// *again* — which survivor absorbs the next arrival depends on the
+/// counter's parity, not on whose turn it is. Remembering the last-routed
+/// id and picking the smallest accepting id strictly greater (wrapping to
+/// the lowest) keeps the rotation fair through drains, failures, and the
+/// disaggregated prefill/decode subsets sharing one router.
 #[derive(Debug, Default)]
 pub struct RoundRobin {
-    next: usize,
+    last: Option<usize>,
 }
 
 impl Router for RoundRobin {
@@ -101,9 +119,18 @@ impl Router for RoundRobin {
     }
 
     fn route(&mut self, _session: u64, views: &[ReplicaView]) -> usize {
-        let v = &views[self.next % views.len()];
-        self.next = self.next.wrapping_add(1);
-        v.id
+        let pick = match self.last {
+            // Views arrive in ascending id order: the first id strictly
+            // greater than the last-routed one is the cycle successor.
+            Some(last) => views
+                .iter()
+                .map(|v| v.id)
+                .find(|&id| id > last)
+                .unwrap_or(views[0].id),
+            None => views[0].id,
+        };
+        self.last = Some(pick);
+        pick
     }
 }
 
@@ -161,6 +188,7 @@ mod tests {
     fn view(id: usize, resident: u64, queued: u64) -> ReplicaView {
         ReplicaView {
             id,
+            role: Role::Unified,
             resident_blocks: resident,
             queued_blocks: queued,
             total_blocks: 1024,
@@ -180,6 +208,49 @@ mod tests {
         let fewer = vec![view(0, 0, 0), view(2, 0, 0)];
         let picks: Vec<_> = (0..4).map(|_| r.route(0, &fewer)).collect();
         assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn round_robin_does_not_alias_across_a_mid_cycle_drain() {
+        // Regression: the old implementation kept a global counter and took
+        // it modulo the *current* view count. After two routes over
+        // [0, 1, 2] that counter stood at 2, so when replica 0 drained the
+        // next pick was views[2 % 2] = replica 1 — serving 1 twice in a row
+        // and skipping 2, purely because of the counter's parity.
+        let mut r = RoundRobin::default();
+        let full: Vec<_> = (0..3).map(|i| view(i, 0, 0)).collect();
+        assert_eq!(r.route(0, &full), 0);
+        assert_eq!(r.route(0, &full), 1);
+        // Replica 0 drains mid-cycle: the cycle successor of 1 is 2.
+        let survivors = vec![view(1, 0, 0), view(2, 0, 0)];
+        let picks: Vec<_> = (0..8).map(|_| r.route(0, &survivors)).collect();
+        assert_eq!(
+            picks,
+            vec![2, 1, 2, 1, 2, 1, 2, 1],
+            "the survivors must alternate starting from the cycle successor"
+        );
+        let to_1 = picks.iter().filter(|&&p| p == 1).count();
+        assert_eq!(to_1, 4, "survivors must split the stream evenly");
+    }
+
+    #[test]
+    fn round_robin_wraps_and_routes_each_subset_fairly() {
+        // The fleet gives each routing phase its own router instance, so
+        // the prefill subset {0, 1} and the decode subset {4, 5} each keep
+        // a fair cycle even when arrivals and handoffs interleave.
+        let mut prefill = RoundRobin::default();
+        let mut decode = RoundRobin::default();
+        let pre = vec![view(0, 0, 0), view(1, 0, 0)];
+        let dec = vec![view(4, 0, 0), view(5, 0, 0)];
+        let picks: Vec<_> = (0..4)
+            .flat_map(|_| [prefill.route(0, &pre), decode.route(0, &dec)])
+            .collect();
+        assert_eq!(picks, vec![0, 4, 1, 5, 0, 4, 1, 5]);
+        // A cursor past the top accepting id wraps to the lowest.
+        let mut r = RoundRobin::default();
+        assert_eq!(r.route(0, &dec), 4);
+        assert_eq!(r.route(0, &dec), 5);
+        assert_eq!(r.route(0, &pre), 0, "no id > 5: wrap to the lowest");
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Integration tests for the fleet serving simulator: determinism across
-//! host thread counts, fault scenarios, legacy-wrapper equivalence, and the
-//! TTFT definition under chunked prefill.
+//! host thread counts, fault scenarios, prefill/decode disaggregation,
+//! KV-pool conservation, legacy-wrapper equivalence, and the TTFT
+//! definition under chunked prefill.
 
 use resoftmax_gpusim::{DeviceSpec, Gpu};
 use resoftmax_model::{build_batched_decode_schedule, ModelConfig, RunParams};
 use resoftmax_serve::{
-    kv_bytes_per_token, run_serve, Error, FleetBuilder, LinkSpec, RouterPolicy, ServeConfig,
+    kv_bytes_per_token, run_serve, Error, FleetBuilder, FleetReport, LinkSpec, Role, RouterPolicy,
+    ServeConfig,
 };
 
 fn model() -> ModelConfig {
@@ -279,6 +281,293 @@ fn builder_rejects_bad_configurations() {
         .build()
         .unwrap_err();
     assert!(e.to_string().contains("dense"), "{e}");
+}
+
+/// A 2-prefill + 4-decode disaggregated fleet over `n` requests.
+fn disagg_report(n: usize, link: LinkSpec, router: RouterPolicy) -> FleetReport {
+    let cfg = ServeConfig {
+        requests: n,
+        arrival_rate_hz: 64.0,
+        ..small_cfg()
+    };
+    FleetBuilder::new()
+        .model(model())
+        .params(RunParams::new(4096))
+        .prefill_replicas(2, &DeviceSpec::a100())
+        .decode_replicas(4, &DeviceSpec::a100())
+        .router(router)
+        .link(link)
+        .workload(cfg)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn disaggregated_fleet_hands_off_every_request_without_re_prefill() {
+    let n = 96;
+    let report = disagg_report(n, LinkSpec::nvlink(), RouterPolicy::RoundRobin);
+    assert_eq!(report.completed, n);
+    // Every request prefills on the prefill side, hands its KV across the
+    // link exactly once (ample KV: nothing is evicted mid-decode), and
+    // decodes without recomputing a single prompt token.
+    assert_eq!(report.handoffs, n, "{report:?}");
+    assert!(report.kv_handoff_bytes > 0);
+    assert!(report.kv_handoff_time_s > 0.0);
+    assert_eq!(report.decode_side_prefill_tokens, 0, "{report:?}");
+    assert_eq!(report.evictions, 0);
+    // Handoffs are not migrations: the rebalancing accounting stays zero.
+    assert_eq!(report.migrations, 0);
+    assert_eq!(report.kv_migrated_bytes, 0);
+    for r in &report.replicas {
+        match r.role.as_str() {
+            "prefill" => {
+                assert_eq!(r.completed, 0, "prefill replicas never finish a request");
+                assert_eq!(
+                    r.decode_tokens as usize, r.handoffs_out,
+                    "first tokens only"
+                );
+                assert!(r.prefill_tokens > 0);
+                assert_eq!(r.handoffs_in, 0);
+            }
+            "decode" => {
+                assert_eq!(r.prefill_tokens, 0, "decode side must not re-prefill");
+                assert!(r.completed > 0, "round-robin spreads decodes: {report:?}");
+                assert_eq!(r.handoffs_out, 0);
+            }
+            other => panic!("unexpected role {other}"),
+        }
+    }
+    assert_eq!(
+        report
+            .replicas
+            .iter()
+            .map(|r| r.handoffs_out)
+            .sum::<usize>(),
+        report.replicas.iter().map(|r| r.handoffs_in).sum::<usize>(),
+    );
+    // Every handed-off token is decoded exactly once, fleet-wide.
+    assert_eq!(
+        report.decode_tokens,
+        report.replicas.iter().map(|r| r.decode_tokens).sum::<u64>()
+    );
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn disaggregated_reports_are_bit_identical_across_threads_and_reruns() {
+    let run = || {
+        serde_json::to_string(&disagg_report(
+            48,
+            LinkSpec::pcie_gen4(),
+            RouterPolicy::LeastLoaded,
+        ))
+        .unwrap()
+    };
+    // Cold pricing cache, single host thread.
+    let cold = run();
+    // Warm cache, 4 host threads: all time is simulated, so the report must
+    // not move by a bit.
+    resoftmax_parallel::set_thread_override(Some(4));
+    let warm_multi = run();
+    resoftmax_parallel::set_thread_override(Some(1));
+    let warm_single = run();
+    resoftmax_parallel::set_thread_override(None);
+    assert_eq!(cold, warm_multi, "disaggregated report diverged");
+    assert_eq!(cold, warm_single, "disaggregated report diverged on rerun");
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn handoff_cost_scales_with_the_link_but_ttft_does_not() {
+    // TTFT is sampled when the final prefill chunk completes on the
+    // *prefill* side — before the KV crosses the wire — so it is identical
+    // across interconnects; the handoff wire time is what grows as the link
+    // slows down (NVLink < PCIe < 100GbE) and lands in the token-2 TBT.
+    let nvlink = disagg_report(24, LinkSpec::nvlink(), RouterPolicy::RoundRobin);
+    let pcie = disagg_report(24, LinkSpec::pcie_gen4(), RouterPolicy::RoundRobin);
+    let eth = disagg_report(24, LinkSpec::ethernet_100g(), RouterPolicy::RoundRobin);
+    assert_eq!(nvlink.kv_handoff_bytes, pcie.kv_handoff_bytes);
+    assert_eq!(pcie.kv_handoff_bytes, eth.kv_handoff_bytes);
+    assert!(nvlink.kv_handoff_time_s < pcie.kv_handoff_time_s);
+    assert!(pcie.kv_handoff_time_s < eth.kv_handoff_time_s);
+    let ttfts = |r: &FleetReport| serde_json::to_string(&r.ttft).unwrap();
+    assert_eq!(
+        ttfts(&nvlink),
+        ttfts(&pcie),
+        "TTFT must be link-independent"
+    );
+    assert_eq!(ttfts(&pcie), ttfts(&eth), "TTFT must be link-independent");
+}
+
+#[test]
+fn builder_rejects_role_violations() {
+    let base = || {
+        FleetBuilder::new()
+            .model(model())
+            .params(RunParams::new(4096))
+            .workload(small_cfg())
+    };
+
+    // Prefill replicas with nowhere to hand off to.
+    let e = base()
+        .prefill_replicas(2, &DeviceSpec::a100())
+        .build()
+        .unwrap_err();
+    assert!(matches!(e, Error::Config { .. }), "{e}");
+    assert!(e.to_string().contains("zero decode"), "{e}");
+
+    // Decode-only fleets cannot admit arrivals.
+    let e = base()
+        .decode_replicas(2, &DeviceSpec::a100())
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("prefill-capable"), "{e}");
+
+    // Scripted faults must leave each phase a survivor: here a replica
+    // survives (so the blanket check passes) but both prefill-capable
+    // replicas are scripted to die.
+    let e = base()
+        .prefill_replicas(2, &DeviceSpec::a100())
+        .decode_replicas(2, &DeviceSpec::a100())
+        .fail_at(0, 1.0)
+        .drain_at(1, 2.0)
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("prefill-capable"), "{e}");
+    assert!(e.to_string().contains("survive"), "{e}");
+
+    // ... and symmetrically for the decode side.
+    let e = base()
+        .prefill_replicas(2, &DeviceSpec::a100())
+        .decode_replicas(1, &DeviceSpec::a100())
+        .fail_at(2, 1.0)
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("decode-capable"), "{e}");
+
+    // A Unified replica satisfies both capabilities.
+    assert!(base()
+        .prefill_replicas(1, &DeviceSpec::a100())
+        .replica_with_role(DeviceSpec::a100(), Role::Unified)
+        .build()
+        .is_ok());
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn kv_pools_return_to_zero_after_every_run() {
+    // Property: a completed workload leaves every replica's KV pool empty —
+    // across eviction churn, drains, failures, and prefill→decode handoffs.
+    // A leak here is an alloc/free accounting bug that otherwise only
+    // surfaces as the pool's free-underflow panic.
+    let tight_kv = Some(kv_bytes_per_token(&model()) * 320);
+    let scenarios: Vec<(&str, FleetReport)> = vec![
+        (
+            "unified ample",
+            FleetBuilder::new()
+                .model(model())
+                .params(RunParams::new(4096))
+                .replicas(2, &DeviceSpec::a100())
+                .workload(small_cfg())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap(),
+        ),
+        (
+            "unified tight KV (evictions)",
+            FleetBuilder::new()
+                .model(model())
+                .params(RunParams::new(4096))
+                .replicas(2, &DeviceSpec::a100())
+                .workload(ServeConfig {
+                    kv_capacity_bytes: tight_kv,
+                    arrival_rate_hz: 256.0,
+                    ..small_cfg()
+                })
+                .build()
+                .unwrap()
+                .run()
+                .unwrap(),
+        ),
+        (
+            "drain mid-run",
+            FleetBuilder::new()
+                .model(model())
+                .params(RunParams::new(4096))
+                .replicas(2, &DeviceSpec::a100())
+                .workload(ServeConfig {
+                    arrival_rate_hz: 256.0,
+                    ..small_cfg()
+                })
+                .drain_at(0, 0.05)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap(),
+        ),
+        (
+            "fail mid-run",
+            FleetBuilder::new()
+                .model(model())
+                .params(RunParams::new(4096))
+                .replicas(2, &DeviceSpec::a100())
+                .workload(ServeConfig {
+                    arrival_rate_hz: 256.0,
+                    ..small_cfg()
+                })
+                .fail_at(1, 0.05)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap(),
+        ),
+        (
+            "disaggregated handoffs",
+            disagg_report(24, LinkSpec::pcie_gen4(), RouterPolicy::RoundRobin),
+        ),
+        (
+            "disaggregated tight decode KV",
+            FleetBuilder::new()
+                .model(model())
+                .params(RunParams::new(4096))
+                .prefill_replicas(1, &DeviceSpec::a100())
+                .decode_replicas(1, &DeviceSpec::a100())
+                .workload(ServeConfig {
+                    kv_capacity_bytes: tight_kv,
+                    arrival_rate_hz: 256.0,
+                    ..small_cfg()
+                })
+                .link(LinkSpec::ethernet_100g())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap(),
+        ),
+    ];
+    let mut eviction_scenarios = 0;
+    for (name, report) in &scenarios {
+        assert_eq!(report.completed, report.submitted, "{name}: {report:?}");
+        for r in &report.replicas {
+            assert_eq!(
+                r.kv_used_blocks_end, 0,
+                "{name}: replica {} leaked KV blocks: {report:?}",
+                r.id
+            );
+        }
+        eviction_scenarios += usize::from(report.evictions > 0);
+    }
+    assert!(
+        eviction_scenarios >= 1,
+        "the tight-KV scenarios must actually exercise eviction: {:?}",
+        scenarios
+            .iter()
+            .map(|(n, r)| (*n, r.evictions))
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
