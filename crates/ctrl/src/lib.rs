@@ -1,0 +1,67 @@
+//! Adaptive serving control plane: closes the loop between observation,
+//! tuning, and the fleet.
+//!
+//! The serving crate's [`Fleet`](resoftmax_serve::Fleet) exposes a
+//! [`ControlPlane`](resoftmax_serve::ControlPlane) hook: a fifth event
+//! source on the simulated clock that snapshots fleet signals, asks a
+//! controller to decide, and applies the returned actions. This crate is
+//! the controller side of that contract:
+//!
+//! - [`RegimeClassifier`] turns windowed signals (queue depth per active
+//!   batch slot, TTFT/TBT percentiles, KV occupancy) into a load *regime* —
+//!   idle, steady, burst, or overload — with hysteresis so the regime does
+//!   not flap between adjacent samples.
+//! - [`PolicyTable`] maps each regime to a knob set ([`RegimeKnobs`]):
+//!   scheduling policy, chunked-prefill budget, and optional token-bucket
+//!   admission rate. [`PolicyTable::tuned`] prices the numeric knobs
+//!   through the [`Tuner`](resoftmax_tune::Tuner) — the regime→knob choices
+//!   are seeded from the same persisted tuning database the rest of the
+//!   repo uses, which is what "closing the loop" means here.
+//! - [`Controller`] combines both and adds decode-replica auto-scaling:
+//!   standby replicas scale up when queue pressure crosses a threshold
+//!   (warm-up priced as the model weights streaming over the link) and
+//!   scale back down when pressure subsides, with a cooldown so steady
+//!   state never flaps.
+//! - [`Replay`] feeds a recorded decision log back through the hook,
+//!   reproducing a controlled run's report bit-for-bit — decisions are
+//!   data, not side effects.
+//!
+//! Everything is deterministic in the signal sequence, so controlled fleet
+//! reports stay bit-identical across host thread counts, reruns, and
+//! sim-cache states.
+//!
+//! ```
+//! use resoftmax_ctrl::{Controller, PolicyTable};
+//! use resoftmax_gpusim::DeviceSpec;
+//! use resoftmax_model::{ModelConfig, RunParams};
+//! use resoftmax_serve::{FleetBuilder, ServeConfig};
+//!
+//! let cfg = ServeConfig {
+//!     requests: 8,
+//!     ..ServeConfig::default()
+//! };
+//! let controller = Controller::new(PolicyTable::static_default(&cfg));
+//! let report = FleetBuilder::new()
+//!     .model(ModelConfig::gpt_neo_1_3b())
+//!     .params(RunParams::new(4096))
+//!     .replicas(2, &DeviceSpec::a100())
+//!     .standby_replicas(1, &DeviceSpec::a100())
+//!     .control_plane(&controller)
+//!     .workload(cfg)
+//!     .build()?
+//!     .run()?;
+//! assert_eq!(report.completed, 8);
+//! assert!(!report.decisions.is_empty());
+//! # Ok::<(), resoftmax_serve::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod replay;
+mod table;
+
+pub use controller::{Controller, ControllerConfig, Regime, RegimeClassifier};
+pub use replay::Replay;
+pub use table::{PolicyTable, RegimeKnobs};

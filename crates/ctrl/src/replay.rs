@@ -1,0 +1,88 @@
+//! Decision-log replay: recorded control decisions as a control plane.
+
+use std::sync::Mutex;
+
+use resoftmax_serve::{
+    ControlDecision, ControlInit, ControlPlane, ControlRecord, FleetReport, FleetSignals,
+    ServeConfig,
+};
+
+/// Replays a recorded decision log through the [`ControlPlane`] hook.
+///
+/// Decisions fire at exactly the recorded times with exactly the recorded
+/// actions, ignoring the live signals; the fleet re-validates each action
+/// against its own state, so running the same workload under a `Replay` of
+/// a controller's log reproduces that controller's report bit-for-bit —
+/// including the `applied` flags the replayed records carry. This is the
+/// auditability contract: a control decision is data, not a side effect.
+#[derive(Debug)]
+pub struct Replay {
+    records: Vec<ControlRecord>,
+    window_s: f64,
+    cursor: Mutex<usize>,
+}
+
+impl Replay {
+    /// A replay over `records` (in recorded order). `window_s` must match
+    /// the original controller's signal-window width — the width is not
+    /// part of the record — and must be positive and finite.
+    pub fn new(records: Vec<ControlRecord>, window_s: f64) -> Self {
+        assert!(
+            window_s > 0.0 && window_s.is_finite(),
+            "replay window width {window_s} must be positive and finite"
+        );
+        Replay {
+            records,
+            window_s,
+            cursor: Mutex::new(0),
+        }
+    }
+
+    /// A replay of `report.decisions`.
+    pub fn from_report(report: &FleetReport, window_s: f64) -> Self {
+        Replay::new(report.decisions.clone(), window_s)
+    }
+
+    /// How many decisions the log holds.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty (such a replay never fires).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl ControlPlane for Replay {
+    fn begin(&self, _cfg: &ServeConfig) -> ControlInit {
+        *self.cursor.lock().expect("replay cursor poisoned") = 0;
+        ControlInit {
+            first_decision_s: self.records.first().map_or(f64::INFINITY, |r| r.at_s),
+            window_s: self.window_s,
+        }
+    }
+
+    fn decide(&self, signals: &FleetSignals) -> ControlDecision {
+        let mut cur = self.cursor.lock().expect("replay cursor poisoned");
+        let Some(rec) = self.records.get(*cur) else {
+            // Defensive: the fleet never asks past the last record because
+            // that record's `next_s` is infinite.
+            return ControlDecision {
+                regime: "replay-exhausted".to_owned(),
+                actions: Vec::new(),
+                next_s: f64::INFINITY,
+            };
+        };
+        debug_assert_eq!(
+            rec.at_s, signals.now_s,
+            "replayed decision fired off its recorded time"
+        );
+        *cur += 1;
+        ControlDecision {
+            regime: rec.regime.clone(),
+            actions: rec.actions.clone(),
+            next_s: self.records.get(*cur).map_or(f64::INFINITY, |r| r.at_s),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The regime→knob policy table, static or priced through the tuner.
+
+use resoftmax_gpusim::DeviceSpec;
+use resoftmax_model::ModelConfig;
+use resoftmax_serve::{Policy, ServeConfig};
+use resoftmax_tune::{TuneError, TuneWorkload, Tuner};
+
+use crate::controller::Regime;
+
+/// Chunked-prefill budgets [`PolicyTable::tuned`] prices against each
+/// other. Spans the fleet's useful range: small chunks keep decode TBT
+/// tight, large chunks push prefill throughput.
+const CHUNK_CANDIDATES: [usize; 4] = [64, 128, 256, 512];
+
+/// Safety margin on the tuned admission rate: admit slightly below the
+/// priced prefill throughput so the queue drains under overload instead of
+/// treading water.
+const ADMISSION_MARGIN: f64 = 0.9;
+
+/// The knob set one regime runs with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeKnobs {
+    /// Scheduling policy for every replica's admission pass.
+    pub policy: Policy,
+    /// Chunked-prefill budget (max prompt tokens one request contributes
+    /// per iteration).
+    pub prefill_chunk: usize,
+    /// Token-bucket admission rate *per accepting prefill-capable replica*
+    /// (the controller scales it to the live fleet), or `None` to run
+    /// unmetered.
+    pub admission_tokens_per_s: Option<f64>,
+}
+
+/// One knob set per regime. The numeric knobs are either carried from the
+/// workload config ([`PolicyTable::static_default`]) or priced through the
+/// tuning database ([`PolicyTable::tuned`]); the policy column is FIFO /
+/// preemptive-priority / shortest-remaining in the static table, while the
+/// tuned table keeps prefill priority in every regime (it is a strict
+/// first-token win, and overload sheds through the admission meter) and
+/// differentiates regimes on chunk budget and admission instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyTable {
+    /// Knobs while idle.
+    pub idle: RegimeKnobs,
+    /// Knobs in steady state.
+    pub steady: RegimeKnobs,
+    /// Knobs under burst.
+    pub burst: RegimeKnobs,
+    /// Knobs under overload.
+    pub overload: RegimeKnobs,
+}
+
+impl PolicyTable {
+    /// The untuned table: every regime keeps the workload's configured
+    /// prefill chunk and runs unmetered; only the scheduling policy varies.
+    pub fn static_default(cfg: &ServeConfig) -> Self {
+        let base = RegimeKnobs {
+            policy: Policy::Fifo,
+            prefill_chunk: cfg.prefill_chunk,
+            admission_tokens_per_s: None,
+        };
+        PolicyTable {
+            idle: base,
+            steady: base,
+            burst: RegimeKnobs {
+                policy: Policy::PreemptivePriority,
+                ..base
+            },
+            overload: RegimeKnobs {
+                policy: Policy::ShortestRemaining,
+                ..base
+            },
+        }
+    }
+
+    /// Prices the numeric knobs through the tuner: each candidate prefill
+    /// chunk is costed as a representative fused iteration (one chunked
+    /// prefill row + a decode-full batch at the workload's mean context).
+    /// Steady state takes the chunk that prefills a mean prompt fastest
+    /// (iterations-to-first-token × iteration cost — TTFT, not per-step
+    /// cost, is what a calm fleet buys with its headroom), burst takes the
+    /// highest prefill throughput (chunk tokens per iteration second), and
+    /// overload meters admission at that throughput less a margin. The
+    /// policy column keeps preemptive prefill priority in every regime:
+    /// against this cost model preemption strictly improves first-token
+    /// latency without re-prefill (evicted decodes keep their KV), and
+    /// under overload the admission meter — not the scheduling order —
+    /// does the shedding. Answers come from the tuner's persisted database
+    /// when warm, so the table is deterministic and cheap across runs.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError`] when a candidate bucket cannot be tuned (e.g. even the
+    /// default schedule fails the legality gates).
+    pub fn tuned(
+        tuner: &Tuner,
+        model: &ModelConfig,
+        device: &DeviceSpec,
+        cfg: &ServeConfig,
+    ) -> Result<Self, TuneError> {
+        let (plo, phi) = cfg.prompt_tokens;
+        let mean_prompt = usize::midpoint(plo, phi);
+        let decode_rows = cfg.max_batch.saturating_sub(1).max(1);
+
+        let mut steady_chunk = CHUNK_CANDIDATES[0];
+        let mut steady_cost = f64::INFINITY;
+        let mut burst_chunk = CHUNK_CANDIDATES[0];
+        let mut burst_rate = f64::NEG_INFINITY;
+        for &chunk in &CHUNK_CANDIDATES {
+            let mut ctxs = vec![chunk];
+            ctxs.extend(std::iter::repeat_n(mean_prompt.max(1), decode_rows));
+            let tuned = tuner.tune(model, device, &TuneWorkload::Decode { ctxs })?;
+            let cost_s = tuned.cost_s;
+            let iterations = mean_prompt.max(1).div_ceil(chunk);
+            let ttft_s = iterations as f64 * cost_s;
+            if ttft_s < steady_cost {
+                steady_cost = ttft_s;
+                steady_chunk = chunk;
+            }
+            let rate = chunk as f64 / cost_s;
+            if rate > burst_rate {
+                burst_rate = rate;
+                burst_chunk = chunk;
+            }
+        }
+
+        let calm = RegimeKnobs {
+            policy: Policy::PreemptivePriority,
+            prefill_chunk: steady_chunk,
+            admission_tokens_per_s: None,
+        };
+        Ok(PolicyTable {
+            idle: calm,
+            steady: calm,
+            burst: RegimeKnobs {
+                policy: Policy::PreemptivePriority,
+                prefill_chunk: burst_chunk,
+                admission_tokens_per_s: None,
+            },
+            overload: RegimeKnobs {
+                policy: Policy::PreemptivePriority,
+                prefill_chunk: burst_chunk,
+                admission_tokens_per_s: Some(burst_rate * ADMISSION_MARGIN),
+            },
+        })
+    }
+
+    /// The knob set for `regime`.
+    pub fn knobs(&self, regime: Regime) -> &RegimeKnobs {
+        match regime {
+            Regime::Idle => &self.idle,
+            Regime::Steady => &self.steady,
+            Regime::Burst => &self.burst,
+            Regime::Overload => &self.overload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resoftmax_tune::{SearchMode, SearchSpace};
+
+    #[test]
+    fn static_table_varies_only_the_policy() {
+        let cfg = ServeConfig::default();
+        let t = PolicyTable::static_default(&cfg);
+        assert_eq!(t.steady.policy, Policy::Fifo);
+        assert_eq!(t.burst.policy, Policy::PreemptivePriority);
+        assert_eq!(t.overload.policy, Policy::ShortestRemaining);
+        for knobs in [&t.idle, &t.steady, &t.burst, &t.overload] {
+            assert_eq!(knobs.prefill_chunk, cfg.prefill_chunk);
+            assert_eq!(knobs.admission_tokens_per_s, None);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+    fn tuned_table_prices_knobs_and_meters_overload() {
+        let tuner = Tuner::new(SearchSpace::smoke(), SearchMode::Exhaustive);
+        let model = ModelConfig::gpt_neo_1_3b();
+        let device = DeviceSpec::a100();
+        let cfg = ServeConfig::default();
+        let t = PolicyTable::tuned(&tuner, &model, &device, &cfg).unwrap();
+        assert!(CHUNK_CANDIDATES.contains(&t.steady.prefill_chunk));
+        assert!(CHUNK_CANDIDATES.contains(&t.burst.prefill_chunk));
+        // The tuned table never prices FIFO or shortest-remaining in:
+        // prefill priority is a strict first-token win at every load, and
+        // under overload the admission meter does the shedding.
+        assert_eq!(t.steady.policy, Policy::PreemptivePriority);
+        assert_eq!(t.burst.policy, Policy::PreemptivePriority);
+        assert_eq!(t.overload.policy, Policy::PreemptivePriority);
+        let rate = t.overload.admission_tokens_per_s.unwrap();
+        assert!(rate.is_finite() && rate > 0.0);
+        // Deterministic: repricing answers identically (cache-backed).
+        let again = PolicyTable::tuned(&tuner, &model, &device, &cfg).unwrap();
+        assert_eq!(again, t);
+    }
+}

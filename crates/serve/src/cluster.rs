@@ -7,14 +7,17 @@
 //! [`Fleet`] that builds always runs to completion or returns a typed
 //! [`Error`].
 //!
-//! The run itself is a discrete-event loop over four event sources: fault
+//! The run itself is a discrete-event loop over five event sources: fault
 //! injections (fail/drain), workload arrivals, prefill→decode KV-handoff
-//! completions, and replica engine steps. Each replica owns its simulated
-//! clock (busy-until time); the fleet always advances whichever source is
-//! earliest, breaking exact ties in the fixed order
-//! *fault ≤ arrival ≤ handoff ≤ step* (handoffs tie on enqueue order, steps
-//! on the lowest replica id). All time is simulated GPU/interconnect time,
-//! so a fleet report is bit-identical across host thread counts and reruns.
+//! completions, control-plane activity (scale-up activations and
+//! [`ControlPlane`] decisions, when one is attached), and replica engine
+//! steps. Each replica owns its simulated clock (busy-until time); the
+//! fleet always advances whichever source is earliest, breaking exact ties
+//! in the fixed order *fault ≤ arrival ≤ handoff ≤ ctrl ≤ step* (handoffs
+//! and activations tie on enqueue order, steps on the lowest replica id).
+//! All time is simulated GPU/interconnect time, so a fleet report —
+//! decision log included — is bit-identical across host thread counts and
+//! reruns.
 //!
 //! Disaggregation: replicas carry a [`Role`]. Fresh arrivals (and displaced
 //! requests that owe prefill work) route over the *prefill-capable* subset;
@@ -24,18 +27,25 @@
 //! transfer completion the request is routed over the *decode-capable*
 //! subset, decoding without re-prefill.
 
+use crate::control::{
+    ControlAction, ControlPlane, ControlRecord, FleetSignals, ReplicaSignal, TokenBucket,
+};
 use crate::engine::{BaselinePlanner, IterationPlanner};
 use crate::error::Error;
 use crate::kv::{kv_bytes_per_token, weight_bytes, KvPool};
 use crate::link::LinkSpec;
-use crate::metrics::{FleetReport, Percentiles, ReplicaStats};
+use crate::metrics::{FleetReport, Percentiles, ReplicaStats, SlidingWindow};
 use crate::replica::{Replica, ReqState, Role, StepAcc};
-use crate::request::{poisson_arrivals, ServeConfig};
+use crate::request::{poisson_arrivals, Arrival, ServeConfig};
 use crate::router::{ReplicaView, Router, RouterPolicy};
 use resoftmax_gpusim::{DeviceSpec, Timeline};
 use resoftmax_model::{decode_error_bound, AttentionKind, ModelConfig, RunParams, SoftmaxStrategy};
 
 static BASELINE: BaselinePlanner = BaselinePlanner;
+
+/// Samples each control-plane signal window retains at most (a memory
+/// bound, not a semantic one: the window width does the real filtering).
+const SIGNAL_WINDOW_CAP: usize = 8192;
 
 /// A scripted replica fault, injected at a simulated time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,11 +111,14 @@ pub struct FleetBuilder<'a> {
     params: Option<RunParams>,
     replicas: Vec<DeviceSpec>,
     roles: Vec<Role>,
+    standby: Vec<bool>,
     router: Option<RouterPolicy>,
     link: Option<LinkSpec>,
     workload: Option<ServeConfig>,
+    arrivals: Option<Vec<Arrival>>,
     events: Vec<FleetEvent>,
     planners: Vec<&'a dyn IterationPlanner>,
+    control: Option<&'a dyn ControlPlane>,
     migrate_on_evict: Option<bool>,
     analyze: Option<bool>,
 }
@@ -157,6 +170,42 @@ impl<'a> FleetBuilder<'a> {
     pub fn replica_with_role(mut self, device: DeviceSpec, role: Role) -> Self {
         self.replicas.push(device);
         self.roles.push(role);
+        self.standby.push(false);
+        self
+    }
+
+    /// Adds one *standby* replica: provisioned (its KV capacity is
+    /// validated like any other replica's) but parked out of rotation until
+    /// a control plane scales it up with
+    /// [`ControlAction::ScaleUp`](crate::ControlAction::ScaleUp) — the
+    /// warm-up streams the model weights over the
+    /// [`link`](Self::link) before it starts accepting. Standby replicas
+    /// do not count toward the capability checks (a fleet whose only
+    /// decode-capable replica is standby is still rejected).
+    #[must_use]
+    pub fn standby_replica_with_role(mut self, device: DeviceSpec, role: Role) -> Self {
+        self.replicas.push(device);
+        self.roles.push(role);
+        self.standby.push(true);
+        self
+    }
+
+    /// Adds `n` standby [`Role::Unified`] replicas of the same `device`.
+    #[must_use]
+    pub fn standby_replicas(mut self, n: usize, device: &DeviceSpec) -> Self {
+        for _ in 0..n {
+            self = self.standby_replica_with_role(device.clone(), Role::Unified);
+        }
+        self
+    }
+
+    /// Adds `n` standby [`Role::Decode`] replicas of the same `device` —
+    /// the auto-scaling pool of a disaggregated fleet.
+    #[must_use]
+    pub fn standby_decode_replicas(mut self, n: usize, device: &DeviceSpec) -> Self {
+        for _ in 0..n {
+            self = self.standby_replica_with_role(device.clone(), Role::Decode);
+        }
         self
     }
 
@@ -226,6 +275,31 @@ impl<'a> FleetBuilder<'a> {
     #[must_use]
     pub fn workload(mut self, cfg: ServeConfig) -> Self {
         self.workload = Some(cfg);
+        self
+    }
+
+    /// Overrides the workload's Poisson arrival process with an explicit
+    /// trace — e.g. [`phased_arrivals`](crate::phased_arrivals) for the
+    /// square-wave / diurnal / overload shapes the control plane is
+    /// exercised under. The trace must match the workload: exactly
+    /// `cfg.requests` entries, sorted by arrival time, with prompt/decode
+    /// lengths inside `cfg`'s ranges (the build-time KV capacity and
+    /// numerics checks are derived from those ranges).
+    #[must_use]
+    pub fn arrivals(mut self, trace: Vec<Arrival>) -> Self {
+        self.arrivals = Some(trace);
+        self
+    }
+
+    /// Attaches a feedback control plane
+    /// ([`ControlPlane`](crate::ControlPlane)): the run gains a fifth event
+    /// source that samples fleet signals on the simulated clock and applies
+    /// the controller's actions (policy/chunk switches, admission control,
+    /// standby scaling). Decisions land in the report's
+    /// [`decisions`](crate::FleetReport::decisions) log.
+    #[must_use]
+    pub fn control_plane(mut self, control: &'a dyn ControlPlane) -> Self {
+        self.control = Some(control);
         self
     }
 
@@ -302,20 +376,31 @@ impl<'a> FleetBuilder<'a> {
             );
         }
         debug_assert_eq!(self.roles.len(), self.replicas.len());
+        debug_assert_eq!(self.standby.len(), self.replicas.len());
         let n_prefill = self.roles.iter().filter(|r| **r == Role::Prefill).count();
         let n_decode = self.roles.iter().filter(|r| **r == Role::Decode).count();
         let n_unified = self.replicas.len() - n_prefill - n_decode;
-        if !self.roles.iter().any(|r| r.prefill_capable()) {
+        // Capability checks count only replicas that start in rotation: a
+        // standby replica cannot take work until a control plane scales it
+        // up, which the run cannot rely on happening.
+        let starting = |capable: fn(Role) -> bool| {
+            self.roles
+                .iter()
+                .zip(&self.standby)
+                .any(|(&r, &sb)| !sb && capable(r))
+        };
+        if !starting(Role::prefill_capable) {
             return config(format!(
-                "every replica is decode-only ({n_decode} decode replicas): arrivals \
-                 need at least one prefill-capable (Prefill or Unified) replica"
+                "every replica is decode-only or standby ({n_decode} decode replicas): \
+                 arrivals need at least one active prefill-capable (Prefill or \
+                 Unified) replica"
             ));
         }
-        if n_prefill > 0 && !self.roles.iter().any(|r| r.decode_capable()) {
+        if n_prefill > 0 && !starting(Role::decode_capable) {
             return config(format!(
                 "disaggregated fleet has {n_prefill} prefill replicas but zero decode \
-                 replicas: finished prefills would have nowhere to hand their KV off \
-                 to — add .decode_replicas(..) or a Unified replica"
+                 replicas in rotation: finished prefills would have nowhere to hand \
+                 their KV off to — add .decode_replicas(..) or a Unified replica"
             ));
         }
         if !self.planners.is_empty() && self.planners.len() != self.replicas.len() {
@@ -341,6 +426,47 @@ impl<'a> FleetBuilder<'a> {
         // plus the metric-shape requirements.
         if let Err(reason) = cfg.validate() {
             return config(reason);
+        }
+
+        // An explicit arrival trace must match the workload config: the
+        // build-time KV-capacity and certified-numerics checks below are
+        // derived from `cfg`'s token ranges, so a trace outside them would
+        // dodge the very guarantees this builder exists to give.
+        if let Some(trace) = &self.arrivals {
+            if trace.len() != cfg.requests {
+                return config(format!(
+                    "explicit arrival trace has {} entries but the workload declares \
+                     {} requests",
+                    trace.len(),
+                    cfg.requests
+                ));
+            }
+            for (k, a) in trace.iter().enumerate() {
+                if !(a.at_s.is_finite() && a.at_s >= 0.0) {
+                    return config(format!(
+                        "arrival {k} has invalid time {}: must be non-negative and \
+                         finite",
+                        a.at_s
+                    ));
+                }
+                if !(cfg.prompt_tokens.0..=cfg.prompt_tokens.1).contains(&a.prompt) {
+                    return config(format!(
+                        "arrival {k} prompt length {} is outside the workload range \
+                         {:?}",
+                        a.prompt, cfg.prompt_tokens
+                    ));
+                }
+                if !(cfg.decode_tokens.0..=cfg.decode_tokens.1).contains(&a.decode) {
+                    return config(format!(
+                        "arrival {k} decode length {} is outside the workload range \
+                         {:?}",
+                        a.decode, cfg.decode_tokens
+                    ));
+                }
+            }
+            if !trace.windows(2).all(|w| w[0].at_s <= w[1].at_s) {
+                return config("explicit arrival trace must be sorted by arrival time".to_owned());
+            }
         }
 
         // Fault events must point at real replicas and leave at least one
@@ -372,12 +498,14 @@ impl<'a> FleetBuilder<'a> {
         }
         // In a disaggregated fleet the survivors must cover both phases:
         // a fleet whose every prefill-capable (or decode-capable) replica is
-        // scripted to fault provably strands work mid-pipeline.
+        // scripted to fault provably strands work mid-pipeline. Standby
+        // replicas do not count as survivors — nothing guarantees they ever
+        // enter rotation.
         let survives = |capable: fn(Role) -> bool| {
             self.roles
                 .iter()
                 .enumerate()
-                .any(|(i, &r)| capable(r) && !faulted.contains(&i))
+                .any(|(i, &r)| capable(r) && !faulted.contains(&i) && !self.standby[i])
         };
         if !survives(Role::prefill_capable) {
             return config(
@@ -485,9 +613,11 @@ impl<'a> FleetBuilder<'a> {
             cfg,
             devices: self.replicas,
             roles: self.roles,
+            standby: self.standby,
             pool_caps,
             router: self.router.unwrap_or(RouterPolicy::RoundRobin),
             link,
+            arrivals: self.arrivals,
             events: {
                 let mut evs = self.events;
                 // Stable by construction: sort_by is stable, so same-time
@@ -496,6 +626,7 @@ impl<'a> FleetBuilder<'a> {
                 evs
             },
             planners: self.planners,
+            control: self.control,
             migrate_on_evict: self.migrate_on_evict.unwrap_or(true),
         })
     }
@@ -510,6 +641,8 @@ impl std::fmt::Debug for Fleet<'_> {
             .field("link", &self.link.name)
             .field("events", &self.events)
             .field("planners", &self.planners.len())
+            .field("standby", &self.standby.iter().filter(|&&s| s).count())
+            .field("control", &self.control.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -523,21 +656,30 @@ pub struct Fleet<'a> {
     cfg: ServeConfig,
     devices: Vec<DeviceSpec>,
     roles: Vec<Role>,
+    standby: Vec<bool>,
     pool_caps: Vec<u64>,
     router: RouterPolicy,
     link: LinkSpec,
+    arrivals: Option<Vec<Arrival>>,
     events: Vec<FleetEvent>,
     planners: Vec<&'a dyn IterationPlanner>,
+    control: Option<&'a dyn ControlPlane>,
     migrate_on_evict: bool,
 }
 
-/// The four things the fleet can do next; ordering on equal times is
-/// fault ≤ arrival ≤ handoff ≤ step.
+/// The six things the fleet can do next; ordering on equal times is
+/// fault ≤ arrival ≤ handoff ≤ ctrl ≤ step, and within ctrl a scale-up
+/// activation lands before the decision (a decision at the same instant
+/// sees the fresh replica).
 enum Action {
     Fault,
     Arrival,
     /// Index into the pending-handoff queue.
     Handoff(usize),
+    /// Index into the pending scale-up activation queue.
+    Activate(usize),
+    /// A control-plane decision fires.
+    Decide,
     Step(usize),
 }
 
@@ -639,7 +781,10 @@ impl Fleet<'_> {
     /// backstop, which validated configurations do not hit.
     pub fn run(&self) -> Result<FleetReport, Error> {
         let cfg = &self.cfg;
-        let arrivals = poisson_arrivals(cfg);
+        let arrivals = match &self.arrivals {
+            Some(trace) => trace.clone(),
+            None => poisson_arrivals(cfg),
+        };
         let bytes_per_token = kv_bytes_per_token(&self.model);
         let sessions = if cfg.sessions == 0 {
             arrivals.len() as u64
@@ -672,6 +817,10 @@ impl Fleet<'_> {
             .map(|(i, d)| {
                 let pool = KvPool::new(self.pool_caps[i], cfg.kv_block_tokens, bytes_per_token);
                 let mut r = Replica::new(i, d.clone(), self.roles[i], pool);
+                if self.standby[i] {
+                    r.standby = true;
+                    r.accepting = false;
+                }
                 if trace {
                     r.timeline = Some(Timeline::new());
                 }
@@ -692,6 +841,39 @@ impl Fleet<'_> {
         let mut kv_handoff_bytes = 0u64;
         let mut kv_handoff_time_s = 0.0f64;
 
+        // Control-plane state. `begin` resets the controller so reruns of
+        // the same `Fleet` stay bit-identical; the knobs it may actuate
+        // live on a working copy of the workload config.
+        let mut live_cfg = cfg.clone();
+        let mut ctrl_next = f64::INFINITY;
+        let mut signal_windows: Option<(SlidingWindow, SlidingWindow)> = None;
+        if let Some(control) = self.control {
+            let init = control.begin(cfg);
+            if !(init.window_s > 0.0 && init.window_s.is_finite()) {
+                return Err(Error::Config {
+                    reason: format!(
+                        "control plane requested signal window {}: must be positive \
+                         and finite",
+                        init.window_s
+                    ),
+                });
+            }
+            if init.first_decision_s.is_finite() {
+                ctrl_next = init.first_decision_s;
+            }
+            signal_windows = Some((
+                SlidingWindow::new(init.window_s, SIGNAL_WINDOW_CAP),
+                SlidingWindow::new(init.window_s, SIGNAL_WINDOW_CAP),
+            ));
+        }
+        // Scale-ups warming toward activation: (replica, activation time),
+        // enqueue order (same-time ties resolve to the earliest enqueued).
+        let mut pending_activations: Vec<(usize, f64)> = Vec::new();
+        let mut admission: Option<TokenBucket> = None;
+        let mut decisions: Vec<ControlRecord> = Vec::new();
+        let mut scale_ups = 0usize;
+        let mut scale_downs = 0usize;
+
         while acc.completed < cfg.requests {
             assert!(
                 total_iterations < cfg.max_iterations,
@@ -702,10 +884,11 @@ impl Fleet<'_> {
             );
 
             // Pick the earliest of: next fault, next arrival, earliest
-            // handoff completion, earliest replica step. Ties resolve
-            // fault ≤ arrival ≤ handoff ≤ step; steps tie on the lowest
-            // replica id and handoffs on enqueue order (strict `<` in both
-            // scans).
+            // handoff completion, control plane (scale-up activation, then
+            // decision), earliest replica step. Ties resolve
+            // fault ≤ arrival ≤ handoff ≤ ctrl ≤ step; steps tie on the
+            // lowest replica id, handoffs and activations on enqueue order
+            // (strict `<` in those scans).
             let mut when = f64::INFINITY;
             let mut action: Option<Action> = None;
             for (i, r) in replicas.iter().enumerate() {
@@ -714,6 +897,22 @@ impl Fleet<'_> {
                         when = t;
                         action = Some(Action::Step(i));
                     }
+                }
+            }
+            if ctrl_next <= when {
+                when = ctrl_next;
+                action = Some(Action::Decide);
+            }
+            let mut activation: Option<(usize, f64)> = None;
+            for (ai, &(_, t)) in pending_activations.iter().enumerate() {
+                if activation.is_none_or(|(_, best)| t < best) {
+                    activation = Some((ai, t));
+                }
+            }
+            if let Some((ai, t)) = activation {
+                if t <= when {
+                    when = t;
+                    action = Some(Action::Activate(ai));
                 }
             }
             let mut handoff: Option<(usize, f64)> = None;
@@ -774,6 +973,16 @@ impl Fleet<'_> {
                     }
                     let dest = routers.route(Phase::Prefill, states[id].session, &views);
                     replicas[dest].waiting.push(id);
+                    // Token-bucket admission control (when armed): the
+                    // arrival pays its prompt tokens; past the burst its
+                    // ready time is pushed to when the refill covers it.
+                    if let Some(bucket) = &mut admission {
+                        let admit_at = bucket.admit(when, states[id].prompt as f64);
+                        if admit_at > when {
+                            states[id].ready_s = states[id].ready_s.max(admit_at);
+                            resoftmax_obs::counter("ctrl.admission_delays").incr();
+                        }
+                    }
                 }
                 Action::Handoff(hi) => {
                     // `remove` (not `swap_remove`) keeps enqueue order for
@@ -806,15 +1015,27 @@ impl Fleet<'_> {
                 }
                 Action::Step(i) => {
                     replicas[i].clock_s = when;
+                    let (nt, nb) = (acc.ttft.len(), acc.tbt.len());
                     let outcome = replicas[i].step(
                         &mut states,
-                        cfg,
+                        &live_cfg,
                         &self.model,
                         &self.params,
                         self.planner(i),
                         &mut acc,
                     )?;
                     total_iterations += 1;
+                    // Feed the step's fresh latency samples into the
+                    // control-plane signal windows, stamped at the
+                    // replica's post-step clock.
+                    if let Some((tw, bw)) = &mut signal_windows {
+                        for &v in &acc.ttft[nt..] {
+                            tw.push(replicas[i].clock_s, v);
+                        }
+                        for &v in &acc.tbt[nb..] {
+                            bw.push(replicas[i].clock_s, v);
+                        }
+                    }
                     for victim in outcome.evicted {
                         self.place_displaced(
                             victim,
@@ -844,6 +1065,174 @@ impl Fleet<'_> {
                         });
                     }
                 }
+                Action::Activate(ai) => {
+                    // `remove` (not `swap_remove`) keeps enqueue order for
+                    // the remaining in-flight warm-ups.
+                    let (r, at) = pending_activations.remove(ai);
+                    replicas[r].warming = false;
+                    // A fault that landed mid-warm-up wins: the weight
+                    // transfer is discarded and the replica stays out.
+                    if !replicas[r].failed && !replicas[r].drained {
+                        replicas[r].standby = false;
+                        replicas[r].accepting = true;
+                        replicas[r].clock_s = replicas[r].clock_s.max(at);
+                        scale_ups += 1;
+                        resoftmax_obs::counter("ctrl.scale_ups").incr();
+                    }
+                }
+                Action::Decide => {
+                    let control = self
+                        .control
+                        .expect("Decide fires only with a control plane attached");
+                    let queue_depth: usize = replicas.iter().map(|r| r.waiting.len()).sum();
+                    let handoff_backlog = pending_handoffs.len();
+                    let active = replicas.iter().filter(|r| r.accepting).count();
+                    let kv_occupancy = if active > 0 {
+                        replicas
+                            .iter()
+                            .filter(|r| r.accepting)
+                            .map(|r| r.pool.occupancy())
+                            .sum::<f64>()
+                            / active as f64
+                    } else {
+                        0.0
+                    };
+                    let (ttft, tbt) = match &signal_windows {
+                        Some((tw, bw)) => (tw.stats(when), bw.stats(when)),
+                        None => (None, None),
+                    };
+                    let signals = FleetSignals {
+                        now_s: when,
+                        arrived: next_arrival,
+                        completed: acc.completed,
+                        queue_depth,
+                        handoff_backlog,
+                        max_batch: live_cfg.max_batch,
+                        ttft,
+                        tbt,
+                        replicas: replicas
+                            .iter()
+                            .map(|r| ReplicaSignal {
+                                id: r.id,
+                                role: r.role,
+                                accepting: r.accepting,
+                                standby: r.standby,
+                                warming: r.warming,
+                                queue_len: r.waiting.len(),
+                                running: r.running.len(),
+                                kv_occupancy: r.pool.occupancy(),
+                            })
+                            .collect(),
+                    };
+                    let decision = control.decide(&signals);
+                    let mut applied = Vec::with_capacity(decision.actions.len());
+                    for a in &decision.actions {
+                        let ok = match *a {
+                            ControlAction::SetPolicy(p) => {
+                                live_cfg.policy = p;
+                                true
+                            }
+                            ControlAction::SetPrefillChunk(c) => {
+                                if c > 0 {
+                                    live_cfg.prefill_chunk = c;
+                                }
+                                c > 0
+                            }
+                            ControlAction::SetAdmission {
+                                tokens_per_s,
+                                burst_tokens,
+                            } => {
+                                let valid = tokens_per_s > 0.0
+                                    && tokens_per_s.is_finite()
+                                    && burst_tokens > 0.0
+                                    && burst_tokens.is_finite();
+                                if valid {
+                                    admission =
+                                        Some(TokenBucket::new(tokens_per_s, burst_tokens, when));
+                                }
+                                valid
+                            }
+                            ControlAction::ClearAdmission => admission.take().is_some(),
+                            ControlAction::ScaleUp { replica: r } => {
+                                let valid = r < replicas.len()
+                                    && replicas[r].standby
+                                    && !replicas[r].warming
+                                    && !replicas[r].failed
+                                    && !replicas[r].drained;
+                                if valid {
+                                    replicas[r].warming = true;
+                                    // Warm-up is the model weights streaming
+                                    // over the link; the replica activates
+                                    // when the transfer lands.
+                                    let warm = self.link.transfer_time_s(weight_bytes(&self.model));
+                                    pending_activations.push((r, when + warm));
+                                }
+                                valid
+                            }
+                            ControlAction::ScaleDown { replica: r } => {
+                                let survives = |capable: fn(Role) -> bool| {
+                                    replicas
+                                        .iter()
+                                        .any(|o| o.accepting && o.id != r && capable(o.role))
+                                };
+                                let valid = r < replicas.len()
+                                    && replicas[r].accepting
+                                    && survives(Role::prefill_capable)
+                                    && survives(Role::decode_capable);
+                                if valid {
+                                    replicas[r].accepting = false;
+                                    replicas[r].standby = true;
+                                    self.displace_all(
+                                        r,
+                                        when,
+                                        "scaled down",
+                                        &mut replicas,
+                                        &mut states,
+                                        &mut routers,
+                                        &mut migrations,
+                                        &mut migration_drops,
+                                        &mut kv_migrated_bytes,
+                                        &mut migration_time_s,
+                                        bytes_per_token,
+                                    )?;
+                                    scale_downs += 1;
+                                    resoftmax_obs::counter("ctrl.scale_downs").incr();
+                                }
+                                valid
+                            }
+                        };
+                        applied.push(ok);
+                    }
+                    decisions.push(ControlRecord {
+                        seq: decisions.len(),
+                        at_s: when,
+                        regime: decision.regime,
+                        actions: decision.actions,
+                        applied,
+                        queue_depth,
+                        active_replicas: active,
+                        kv_occupancy,
+                        handoff_backlog,
+                        ttft,
+                        tbt,
+                    });
+                    if !decision.next_s.is_finite() {
+                        ctrl_next = f64::INFINITY;
+                    } else if decision.next_s <= when {
+                        return Err(Error::Config {
+                            reason: format!(
+                                "control plane scheduled its next decision at {} from \
+                                 {when}: must be strictly later",
+                                decision.next_s
+                            ),
+                        });
+                    } else {
+                        ctrl_next = decision.next_s;
+                    }
+                    // Decisions count against the iteration backstop so a
+                    // controller that stalls the fleet still trips it.
+                    total_iterations += 1;
+                }
             }
         }
 
@@ -857,6 +1246,7 @@ impl Fleet<'_> {
         let prefill_tokens: u64 = replicas.iter().map(|r| r.prefill_tokens).sum();
         let decode_tokens: u64 = replicas.iter().map(|r| r.decode_tokens).sum();
         let handoffs: usize = replicas.iter().map(|r| r.handoffs_out).sum();
+        let preemptions: usize = replicas.iter().map(|r| r.preemptions).sum();
         // Prefill rows run on a dedicated decode replica only when a
         // handed-off request later loses its cache to memory pressure: the
         // disaggregation contract's "no re-prefill" is this staying zero.
@@ -878,6 +1268,8 @@ impl Fleet<'_> {
                 decode_tokens: r.decode_tokens,
                 handoffs_in: r.handoffs_in,
                 handoffs_out: r.handoffs_out,
+                preemptions: r.preemptions,
+                standby: r.standby,
                 kv_used_blocks_end: r.pool.used_blocks(),
                 busy_s: r.busy_s,
                 utilization: if sim_time_s > 0.0 {
@@ -933,6 +1325,10 @@ impl Fleet<'_> {
             decode_tokens_per_s: decode_tokens as f64 / sim_time_s,
             ttft: Percentiles::from_samples(&acc.ttft),
             tbt: Percentiles::from_samples(&acc.tbt),
+            preemptions,
+            scale_ups,
+            scale_downs,
+            decisions,
             replicas: replica_stats,
         })
     }
@@ -1022,9 +1418,6 @@ impl Fleet<'_> {
     ) -> Result<(), Error> {
         let i = ev.replica();
         let at_s = ev.at_s();
-        // The replica finishes its in-flight iteration first (clock_s is its
-        // busy-until time): displacement happens at the later of the two.
-        let now_s = at_s.max(replicas[i].clock_s);
         match ev {
             FleetEvent::Drain { .. } => {
                 replicas[i].accepting = false;
@@ -1035,8 +1428,48 @@ impl Fleet<'_> {
                 replicas[i].failed = true;
             }
         }
-        // Oldest running first, then the waiting queue: the drain preserves
-        // seniority at the destinations.
+        let what = if replicas[i].failed {
+            "failed"
+        } else {
+            "drained"
+        };
+        self.displace_all(
+            i,
+            at_s,
+            what,
+            replicas,
+            states,
+            routers,
+            migrations,
+            migration_drops,
+            kv_migrated_bytes,
+            migration_time_s,
+            bytes_per_token,
+        )
+    }
+
+    /// Displaces every request resident on replica `i` after it left
+    /// rotation (fault, drain, or control-plane scale-down). Running
+    /// requests go first, then the waiting queue, so seniority is preserved
+    /// at the destinations; `what` labels the no-survivor error.
+    #[allow(clippy::too_many_arguments)]
+    fn displace_all(
+        &self,
+        i: usize,
+        at_s: f64,
+        what: &str,
+        replicas: &mut [Replica],
+        states: &mut [ReqState],
+        routers: &mut Routers,
+        migrations: &mut usize,
+        migration_drops: &mut usize,
+        kv_migrated_bytes: &mut u64,
+        migration_time_s: &mut f64,
+        bytes_per_token: u64,
+    ) -> Result<(), Error> {
+        // The replica finishes its in-flight iteration first (clock_s is its
+        // busy-until time): displacement happens at the later of the two.
+        let now_s = at_s.max(replicas[i].clock_s);
         let displaced: Vec<usize> = std::mem::take(&mut replicas[i].running)
             .into_iter()
             .chain(std::mem::take(&mut replicas[i].waiting))
@@ -1047,13 +1480,8 @@ impl Fleet<'_> {
         if !replicas.iter().any(|r| r.accepting) {
             return Err(Error::Config {
                 reason: format!(
-                    "replica {i} {} at {at_s:.3}s with {} requests resident and no \
+                    "replica {i} {what} at {at_s:.3}s with {} requests resident and no \
                      accepting replica left",
-                    if replicas[i].failed {
-                        "failed"
-                    } else {
-                        "drained"
-                    },
                     displaced.len()
                 ),
             });

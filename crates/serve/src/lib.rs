@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod control;
 mod engine;
 mod error;
 mod kv;
@@ -62,24 +63,34 @@ mod request;
 mod router;
 
 pub use cluster::{Fleet, FleetBuilder, FleetEvent};
+pub use control::{
+    ControlAction, ControlDecision, ControlInit, ControlPlane, ControlRecord, FleetSignals,
+    ReplicaSignal,
+};
 pub use engine::{run_serve, run_serve_with, BaselinePlanner, IterationPlanner};
 pub use error::Error;
 pub use kv::{kv_bytes_per_token, weight_bytes, KvPool};
 pub use link::LinkSpec;
-pub use metrics::{nearest_rank_index, FleetReport, Percentiles, ReplicaStats, ServeReport};
+pub use metrics::{
+    nearest_rank_index, FleetReport, Percentiles, ReplicaStats, ServeReport, SlidingWindow,
+};
 pub use replica::Role;
-pub use request::{poisson_arrivals, Arrival, Policy, ServeConfig};
+pub use request::{phased_arrivals, poisson_arrivals, Arrival, Policy, ServeConfig};
 pub use router::{CacheAffinity, LeastLoaded, ReplicaView, RoundRobin, Router, RouterPolicy};
 
 /// One-line import of the serving API:
 /// `use resoftmax_serve::prelude::*;`.
 pub mod prelude {
     pub use crate::cluster::{Fleet, FleetBuilder, FleetEvent};
+    pub use crate::control::{
+        ControlAction, ControlDecision, ControlInit, ControlPlane, ControlRecord, FleetSignals,
+        ReplicaSignal,
+    };
     pub use crate::engine::{run_serve, run_serve_with, BaselinePlanner, IterationPlanner};
     pub use crate::error::Error;
     pub use crate::link::LinkSpec;
-    pub use crate::metrics::{FleetReport, Percentiles, ReplicaStats, ServeReport};
+    pub use crate::metrics::{FleetReport, Percentiles, ReplicaStats, ServeReport, SlidingWindow};
     pub use crate::replica::Role;
-    pub use crate::request::{Arrival, Policy, ServeConfig};
+    pub use crate::request::{phased_arrivals, Arrival, Policy, ServeConfig};
     pub use crate::router::{ReplicaView, Router, RouterPolicy};
 }

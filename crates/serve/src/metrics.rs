@@ -1,6 +1,10 @@
 //! Latency/throughput aggregation for serving runs.
 
+use std::collections::VecDeque;
+
 use serde::{Deserialize, Serialize};
+
+use crate::control::ControlRecord;
 
 /// Nearest-rank percentiles over a latency sample (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +66,96 @@ impl Percentiles {
             p90_s: rank(90),
             p99_s: rank(99),
             max_s: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// A sliding window of timestamped samples on the simulated clock, with
+/// nearest-rank percentile queries — the signal source for control-plane
+/// decisions (windowed TTFT/TBT) and the windowed rows of a controlled
+/// fleet's report.
+///
+/// Samples arrive tagged with their simulated emission time. The window
+/// keeps the most recent `cap` samples at most, and a
+/// [`stats`](SlidingWindow::stats) query at time `t` aggregates only samples emitted
+/// within `[t - window_s, t]`. Sample times need not be monotone — replicas
+/// advance their clocks independently, so a sample from a busy replica can
+/// carry an earlier timestamp than one already pushed — which is why
+/// `stats` *filters* by timestamp instead of assuming front-of-queue
+/// staleness. Percentiles reuse [`Percentiles::from_samples`] and therefore
+/// the exact integer [`nearest_rank_index`] rank math.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    window_s: f64,
+    cap: usize,
+    buf: VecDeque<(f64, f64)>,
+}
+
+impl SlidingWindow {
+    /// An empty window of width `window_s` holding at most `cap` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window_s` is not positive or `cap` is zero.
+    pub fn new(window_s: f64, cap: usize) -> Self {
+        assert!(
+            window_s > 0.0 && window_s.is_finite(),
+            "window width must be positive and finite, got {window_s}"
+        );
+        assert!(cap > 0, "window capacity must be nonzero");
+        SlidingWindow {
+            window_s,
+            cap,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// The window width, seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Records one sample emitted at simulated time `at_s`. Samples whose
+    /// timestamps have aged past the *pushed* sample's window are dropped
+    /// from the front, and the capacity bound drops the oldest insertion.
+    pub fn push(&mut self, at_s: f64, value: f64) {
+        while let Some(&(t, _)) = self.buf.front() {
+            if t + self.window_s < at_s {
+                self.buf.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((at_s, value));
+    }
+
+    /// Samples currently retained (some may be out-of-window for a given
+    /// query time; [`stats`](SlidingWindow::stats) filters).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Nearest-rank percentiles over the samples emitted within
+    /// `[now_s - window_s, now_s]`, or `None` when the window holds none.
+    pub fn stats(&self, now_s: f64) -> Option<Percentiles> {
+        let in_window: Vec<f64> = self
+            .buf
+            .iter()
+            .filter(|&&(t, _)| t + self.window_s >= now_s && t <= now_s)
+            .map(|&(_, v)| v)
+            .collect();
+        if in_window.is_empty() {
+            None
+        } else {
+            Some(Percentiles::from_samples(&in_window))
         }
     }
 }
@@ -152,6 +246,12 @@ pub struct ReplicaStats {
     pub handoffs_out: usize,
     /// Handed-off requests whose KV landed here for decoding.
     pub handoffs_in: usize,
+    /// Running decode requests preempted here by prefill-owing waiters
+    /// (`Policy::PreemptivePriority` only; the preempted KV stays resident).
+    pub preemptions: usize,
+    /// `true` while the replica sits in standby at the end of the run
+    /// (declared standby and never scaled up, or scaled back down).
+    pub standby: bool,
     /// `true` once a drain event retired this replica.
     pub drained: bool,
     /// `true` once a fail event killed this replica.
@@ -216,6 +316,18 @@ pub struct FleetReport {
     pub ttft: Percentiles,
     /// Time between consecutive output tokens (first token excluded).
     pub tbt: Percentiles,
+    /// Decode preemptions fleet-wide (`Policy::PreemptivePriority`).
+    pub preemptions: usize,
+    /// Standby replicas brought into rotation by the control plane.
+    pub scale_ups: usize,
+    /// Active replicas returned to standby by the control plane.
+    pub scale_downs: usize,
+    /// The control plane's decision log, in decision order — empty when no
+    /// control plane was attached. Every row carries the windowed signal
+    /// snapshot it decided on, so the log doubles as the report's
+    /// windowed-percentile time series, and replaying the recorded actions
+    /// reproduces this report bit-identically.
+    pub decisions: Vec<ControlRecord>,
     /// Per-replica accounting, ascending id.
     pub replicas: Vec<ReplicaStats>,
 }
@@ -348,5 +460,81 @@ mod tests {
     #[should_panic(expected = "percent")]
     fn nearest_rank_index_rejects_percent_zero() {
         let _ = nearest_rank_index(10, 0);
+    }
+
+    #[test]
+    fn sliding_window_ages_out_samples() {
+        let mut w = SlidingWindow::new(10.0, 1024);
+        assert!(w.is_empty());
+        assert_eq!(w.stats(0.0), None);
+        for t in 0..20 {
+            w.push(f64::from(t), f64::from(t));
+        }
+        // At t=19 the window [9, 19] holds samples 9..=19.
+        let p = w.stats(19.0).unwrap();
+        assert_eq!(p.n, 11);
+        assert_eq!(p.p50_s, 14.0);
+        assert_eq!(p.max_s, 19.0);
+        // Querying later shrinks the window without new pushes.
+        let p = w.stats(25.0).unwrap();
+        assert_eq!(p.n, 5);
+        assert_eq!(p.max_s, 19.0);
+        // Past every sample's window: no data, not fabricated zeros.
+        assert_eq!(w.stats(100.0), None);
+    }
+
+    #[test]
+    fn sliding_window_tolerates_out_of_order_timestamps() {
+        // Replica clocks advance independently, so pushes are not monotone:
+        // a stale-timestamped sample behind a fresh one must still be
+        // filtered out of stats (and a fresh one behind it kept).
+        let mut w = SlidingWindow::new(5.0, 1024);
+        w.push(100.0, 1.0);
+        w.push(90.0, 2.0); // stale relative to the query below
+        w.push(101.0, 3.0);
+        let p = w.stats(101.0).unwrap();
+        assert_eq!(p.n, 2, "the t=90 sample is outside [96, 101]");
+        assert_eq!(p.max_s, 3.0);
+    }
+
+    #[test]
+    fn sliding_window_capacity_bounds_memory() {
+        let mut w = SlidingWindow::new(1e9, 4);
+        for t in 0..100 {
+            w.push(f64::from(t), f64::from(t));
+        }
+        assert_eq!(w.len(), 4);
+        let p = w.stats(99.0).unwrap();
+        assert_eq!(p.n, 4, "only the 4 newest samples are retained");
+        assert_eq!(p.max_s, 99.0);
+        assert_eq!(p.p50_s, 97.0);
+    }
+
+    #[test]
+    fn sliding_window_uses_exact_integer_rank_math() {
+        // Regression against the float nearest-rank fix: the window's
+        // percentiles go through `nearest_rank_index`, so sample counts
+        // where float `ceil(p·n)` overshoots must still land on the exact
+        // rank. 100 in-window samples: p50 is the 50th (49.0 here), which
+        // the float path got right by luck — but the underlying index
+        // matches `nearest_rank_index` at every count, including the
+        // overshoot-prone ones exercised in
+        // `float_rank_overshoots_where_integer_rank_cannot`.
+        let mut w = SlidingWindow::new(1e9, 4096);
+        for t in 0..100 {
+            w.push(f64::from(t), f64::from(t));
+        }
+        let p = w.stats(99.0).unwrap();
+        assert_eq!(p.n, 100);
+        assert_eq!(nearest_rank_index(100, 50), 49);
+        assert_eq!(p.p50_s, 49.0);
+        assert_eq!(p.p90_s, 89.0);
+        assert_eq!(p.p99_s, 98.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn sliding_window_rejects_zero_width() {
+        let _ = SlidingWindow::new(0.0, 16);
     }
 }

@@ -135,6 +135,7 @@ struct ReplicaCounters {
     migrations_out: Counter,
     handoffs_in: Counter,
     handoffs_out: Counter,
+    preemptions: Counter,
 }
 
 impl ReplicaCounters {
@@ -150,11 +151,16 @@ impl ReplicaCounters {
             migrations_out: c("migrations_out"),
             handoffs_in: c("handoffs_in"),
             handoffs_out: c("handoffs_out"),
+            preemptions: c("preemptions"),
         }
     }
 }
 
 /// One modeled replica of the fleet.
+// The lifecycle flags (accepting/drained/failed/standby/warming) are
+// deliberately independent booleans: drained+standby and failed+warming
+// are reachable, so an enum would misstate the state space.
+#[allow(clippy::struct_excessive_bools)]
 pub(crate) struct Replica {
     pub id: usize,
     pub device: DeviceSpec,
@@ -167,6 +173,11 @@ pub(crate) struct Replica {
     pub accepting: bool,
     pub drained: bool,
     pub failed: bool,
+    /// `true` while parked out of rotation as scale-up spare capacity
+    /// (distinct from drained: a standby replica can come back).
+    pub standby: bool,
+    /// `true` while a control-plane scale-up warm-up transfer is in flight.
+    pub warming: bool,
     /// Requests in the current continuous batch, admission order (oldest
     /// first — index 0 is never evicted).
     pub running: Vec<usize>,
@@ -181,6 +192,7 @@ pub(crate) struct Replica {
     pub decode_tokens: u64,
     pub handoffs_in: usize,
     pub handoffs_out: usize,
+    pub preemptions: usize,
     pub busy_s: f64,
     pub occ_sum: f64,
     pub occ_n: usize,
@@ -223,6 +235,8 @@ impl Replica {
             accepting: true,
             drained: false,
             failed: false,
+            standby: false,
+            warming: false,
             running: Vec::new(),
             waiting: Vec::new(),
             iterations: 0,
@@ -232,6 +246,7 @@ impl Replica {
             decode_tokens: 0,
             handoffs_in: 0,
             handoffs_out: 0,
+            preemptions: 0,
             busy_s: 0.0,
             occ_sum: 0.0,
             occ_n: 0,
@@ -296,10 +311,23 @@ impl Replica {
     /// Admission: strict head-of-line over the ready part of the waiting
     /// queue — a request is admitted only if the pool covers its full
     /// resident context (migrated-in requests already hold part of it).
+    /// Under [`Policy::PreemptivePriority`] a full batch may additionally
+    /// *preempt* running decodes for ready prefill-owing waiters (see
+    /// [`preempt_for_prefill`](Self::preempt_for_prefill)).
     fn admit(&mut self, states: &mut [ReqState], cfg: &ServeConfig) {
-        if cfg.policy == Policy::ShortestRemaining {
-            self.waiting
-                .sort_by_key(|&id| (states[id].remaining_work(), id));
+        match cfg.policy {
+            Policy::Fifo => {}
+            Policy::ShortestRemaining => {
+                self.waiting
+                    .sort_by_key(|&id| (states[id].remaining_work(), id));
+            }
+            Policy::PreemptivePriority => {
+                // Prefill-owing waiters first (arrival order within each
+                // class): a prompt burst should not queue behind decode
+                // re-admissions.
+                self.waiting
+                    .sort_by_key(|&id| (states[id].cached >= states[id].prefill_target(), id));
+            }
         }
         while self.running.len() < cfg.max_batch {
             let Some(pos) = self
@@ -328,6 +356,71 @@ impl Replica {
             self.waiting.remove(pos);
             self.running.push(id);
             resoftmax_obs::counter("serve.admitted").incr();
+        }
+        if cfg.policy == Policy::PreemptivePriority && self.running.len() == cfg.max_batch {
+            self.preempt_for_prefill(states, cfg);
+        }
+    }
+
+    /// With the batch full, swaps running decode-phase requests out for
+    /// ready prefill-owing waiters. Preemption frees a *batch slot*, not
+    /// memory: the victim keeps its KV blocks and `cached` tokens, so its
+    /// later re-admission allocates nothing (analyzer-clean) and decode
+    /// resumes exactly where it stopped. The victim is the running request
+    /// with the most decode tokens still owed (ties to the youngest), never
+    /// the oldest (index 0) — the head of the line always progresses, so
+    /// the loop-termination argument is untouched. Waiters whose KV pages
+    /// would not fit do not trigger a preemption (the slot would go idle).
+    fn preempt_for_prefill(&mut self, states: &mut [ReqState], cfg: &ServeConfig) {
+        loop {
+            let Some(pos) = self.waiting.iter().position(|&id| {
+                let st = &states[id];
+                let extra = self
+                    .pool
+                    .blocks_for(st.prefill_target())
+                    .saturating_sub(st.blocks);
+                st.ready_s <= self.clock_s
+                    && st.cached < st.prefill_target()
+                    && self.pool.can_alloc(extra)
+            }) else {
+                return;
+            };
+            // The victim: a running decode-phase request (its preserved KV
+            // is exactly resumable), most decode tokens owed, youngest on
+            // ties, never index 0.
+            let Some(victim_i) = self
+                .running
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|&(_, &v)| {
+                    states[v].generated > 0 && states[v].cached == states[v].prefill_target()
+                })
+                .max_by_key(|&(_, &v)| (states[v].decode - states[v].generated, v))
+                .map(|(i, _)| i)
+            else {
+                return;
+            };
+            let victim = self.running.remove(victim_i);
+            self.waiting.push(victim);
+            self.preemptions += 1;
+            self.counters.preemptions.incr();
+            resoftmax_obs::counter("serve.preemptions").incr();
+
+            let id = self.waiting[pos];
+            let need = self.pool.blocks_for(states[id].prefill_target());
+            let extra = need.saturating_sub(states[id].blocks);
+            let granted = extra == 0 || self.pool.try_alloc(extra);
+            debug_assert!(granted, "preemption candidate was can_alloc-checked");
+            if granted {
+                states[id].blocks = states[id].blocks.max(need);
+                self.waiting.remove(pos);
+                self.running.push(id);
+                resoftmax_obs::counter("serve.admitted").incr();
+            }
+            if self.running.len() < cfg.max_batch {
+                return;
+            }
         }
     }
 

@@ -12,6 +12,15 @@ pub enum Policy {
     /// Shortest remaining work first (prefill + decode tokens still owed);
     /// ties break on arrival order, so the schedule stays deterministic.
     ShortestRemaining,
+    /// Prefill-priority with preemption: requests still owing prefill work
+    /// are admitted first, and when the batch is full a ready prefill-owing
+    /// waiter may *preempt* the running decode request with the most decode
+    /// tokens still owed (never the oldest). A preempted request keeps its
+    /// KV blocks resident, so re-admission allocates nothing and decode
+    /// resumes where it stopped — distinct from eviction, which drops the
+    /// cache. Built for prefill-heavy bursts, where TTFT of the queueing
+    /// prompts matters more than the TBT of long decodes.
+    PreemptivePriority,
 }
 
 impl Policy {
@@ -20,6 +29,7 @@ impl Policy {
         match self {
             Policy::Fifo => "fifo",
             Policy::ShortestRemaining => "shortest-remaining",
+            Policy::PreemptivePriority => "preemptive-priority",
         }
     }
 }
@@ -169,6 +179,75 @@ pub fn poisson_arrivals(cfg: &ServeConfig) -> Vec<Arrival> {
         .collect()
 }
 
+/// Samples a *phase-shifting* request trace: a piecewise-constant-rate
+/// Poisson process whose rate follows `phases` — a repeating cycle of
+/// `(duration_s, rate_hz)` segments — with prompt/decode lengths sampled
+/// uniformly from `cfg`'s ranges. This is the workload shape the adaptive
+/// control plane is built for: square-wave bursts, diurnal ramps, and
+/// overload spikes are all cycles of constant-rate segments.
+///
+/// The inter-arrival sampling is exact, not approximate: each gap draws one
+/// unit-rate exponential and *consumes* it across phase boundaries (a
+/// segment at rate `r` lasting `dt` seconds consumes `r · dt` of the
+/// exponential), so the instantaneous rate within every segment is exactly
+/// that segment's `rate_hz`. Deterministic in `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics on degenerate configs (zero requests, empty or zero token ranges,
+/// empty `phases`, non-positive durations or rates).
+pub fn phased_arrivals(cfg: &ServeConfig, phases: &[(f64, f64)]) -> Vec<Arrival> {
+    assert!(cfg.requests > 0, "trace needs at least one request");
+    assert!(
+        !phases.is_empty(),
+        "phase schedule needs at least one phase"
+    );
+    for &(dur_s, rate_hz) in phases {
+        assert!(
+            dur_s > 0.0 && dur_s.is_finite(),
+            "phase duration must be positive and finite, got {dur_s}"
+        );
+        assert!(
+            rate_hz > 0.0 && rate_hz.is_finite(),
+            "phase rate must be positive and finite, got {rate_hz}"
+        );
+    }
+    let ((p_lo, p_hi), (d_lo, d_hi)) = (cfg.prompt_tokens, cfg.decode_tokens);
+    assert!(p_lo > 0 && p_lo <= p_hi, "bad prompt range {p_lo}..={p_hi}");
+    assert!(d_lo > 0 && d_lo <= d_hi, "bad decode range {d_lo}..={d_hi}");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut now = 0.0f64;
+    let mut phase = 0usize;
+    // Simulated time already elapsed inside the current phase.
+    let mut into_phase = 0.0f64;
+    (0..cfg.requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // One unit-rate exponential, consumed across phase boundaries.
+            let mut e = -(1.0 - u).ln();
+            loop {
+                let (dur_s, rate_hz) = phases[phase];
+                let left_s = dur_s - into_phase;
+                let need_s = e / rate_hz;
+                if need_s <= left_s {
+                    now += need_s;
+                    into_phase += need_s;
+                    break;
+                }
+                e -= left_s * rate_hz;
+                now += left_s;
+                into_phase = 0.0;
+                phase = (phase + 1) % phases.len();
+            }
+            Arrival {
+                at_s: now,
+                prompt: rng.gen_range(p_lo..p_hi + 1),
+                decode: rng.gen_range(d_lo..d_hi + 1),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +289,53 @@ mod tests {
         assert!(bad(|c| c.max_batch = 0).contains("max_batch"));
         assert!(bad(|c| c.prefill_chunk = 0).contains("prefill_chunk"));
         assert!(bad(|c| c.kv_block_tokens = 0).contains("kv_block_tokens"));
+    }
+
+    #[test]
+    fn phased_arrivals_follow_the_phase_rates() {
+        let cfg = ServeConfig {
+            requests: 4000,
+            ..ServeConfig::default()
+        };
+        // Square wave: 10 s at 4 Hz, 10 s at 40 Hz, repeating.
+        let phases = [(10.0, 4.0), (10.0, 40.0)];
+        let a = phased_arrivals(&cfg, &phases);
+        assert_eq!(a, phased_arrivals(&cfg, &phases));
+        assert!(a.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        // Count arrivals inside low vs high segments of the first full
+        // cycles; rates should be ~10x apart (loose bounds, it is random).
+        let (mut low, mut high) = (0usize, 0usize);
+        for r in &a {
+            let cycle_pos = r.at_s % 20.0;
+            if cycle_pos < 10.0 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        assert!(
+            high > low * 4,
+            "high-rate phases must dominate: {high} vs {low}"
+        );
+        // Mean overall rate is (4 + 40) / 2 = 22 Hz over whole cycles.
+        let mean_rate = a.len() as f64 / a.last().unwrap().at_s;
+        assert!(
+            (10.0..40.0).contains(&mean_rate),
+            "mean rate {mean_rate} should sit between the phase rates"
+        );
+    }
+
+    #[test]
+    fn phased_arrivals_single_phase_matches_poisson() {
+        // One phase at the config's rate is exactly the homogeneous process:
+        // same RNG consumption order, so the traces are bit-identical.
+        let cfg = ServeConfig {
+            requests: 256,
+            ..ServeConfig::default()
+        };
+        let homogeneous = poisson_arrivals(&cfg);
+        let phased = phased_arrivals(&cfg, &[(f64::MAX, cfg.arrival_rate_hz)]);
+        assert_eq!(homogeneous, phased);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use resoftmax_gpusim::{DeviceSpec, Gpu};
 use resoftmax_model::{build_batched_decode_schedule, ModelConfig, RunParams};
 use resoftmax_serve::{
-    kv_bytes_per_token, run_serve, Error, FleetBuilder, FleetReport, LinkSpec, Role, RouterPolicy,
-    ServeConfig,
+    kv_bytes_per_token, poisson_arrivals, run_serve, Error, FleetBuilder, FleetReport, LinkSpec,
+    Policy, Role, RouterPolicy, ServeConfig,
 };
 
 fn model() -> ModelConfig {
@@ -598,4 +598,45 @@ fn sessions_pin_to_replicas_under_cache_affinity() {
     // one does.
     let active = report.replicas.iter().filter(|r| r.completed > 0).count();
     assert!((1..=4).contains(&active));
+}
+
+#[test]
+#[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+fn preemptive_priority_preempts_decodes_without_losing_work() {
+    // A prefill-heavy burst against one replica: with the batch full of
+    // decode-phase requests, `PreemptivePriority` must swap the most-owed
+    // decoder out for a ready prefill. The preempted request keeps its KV
+    // blocks resident, so re-admission never re-prefills — total prefill
+    // work equals the workload's prompt tokens exactly.
+    let cfg = ServeConfig {
+        requests: 32,
+        arrival_rate_hz: 64.0,
+        prompt_tokens: (128, 512),
+        decode_tokens: (32, 96),
+        max_batch: 4,
+        prefill_chunk: 128,
+        policy: Policy::PreemptivePriority,
+        ..ServeConfig::default()
+    };
+    let report = FleetBuilder::new()
+        .model(model())
+        .params(RunParams::new(4096))
+        .replicas(1, &DeviceSpec::a100())
+        .workload(cfg.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(report.completed, cfg.requests);
+    assert_eq!(report.policy, "preemptive-priority");
+    assert!(
+        report.preemptions > 0,
+        "the burst must trigger preemptions: {report:?}"
+    );
+    assert_eq!(report.preemptions, report.replicas[0].preemptions);
+    let prompt_total: u64 = poisson_arrivals(&cfg).iter().map(|a| a.prompt as u64).sum();
+    assert_eq!(
+        report.prefill_tokens, prompt_total,
+        "preempted requests re-prefilled: resident KV was not preserved"
+    );
 }

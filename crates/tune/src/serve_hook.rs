@@ -24,9 +24,17 @@ use resoftmax_gpusim::DeviceSpec;
 use resoftmax_model::{ModelConfig, RunParams};
 use resoftmax_serve::IterationPlanner;
 
+use crate::cache::fnv1a;
 use crate::oracle::{precheck_decode, TuneWorkload};
+use crate::search::SearchMode;
 use crate::session_ext::apply_knobs;
 use crate::tuner::Tuner;
+
+/// Decode buckets whose (power-of-two-rounded) context reaches this length
+/// are "long-tail": the schedule space there is wide enough that the
+/// exhaustive sweep's cost stops paying for itself, so the planner searches
+/// them with a seeded annealer instead (counted on `tune.annealed_buckets`).
+const LONG_TAIL_CTX: usize = 2048;
 
 /// Prices serving iterations with tuned schedules. Construct with
 /// [`TunedPlanner::new`] (one device) or [`TunedPlanner::for_fleet`] (one
@@ -70,7 +78,30 @@ impl IterationPlanner for TunedPlanner<'_> {
         let workload = TuneWorkload::Decode {
             ctxs: ctxs.to_vec(),
         };
-        let Ok(tuned) = self.tuner.tune(&self.model, &self.device, &workload) else {
+        let bucket = workload.bucket();
+        let long_tail = match &bucket {
+            TuneWorkload::Decode { ctxs } => {
+                ctxs.iter().copied().max().unwrap_or(0) >= LONG_TAIL_CTX
+            }
+            TuneWorkload::Prefill { .. } => false,
+        };
+        let result = if long_tail {
+            resoftmax_obs::counter("tune.annealed_buckets").incr();
+            // The seed derives from the bucket label, so every planner
+            // (and every rerun) anneals a given bucket identically — the
+            // answer stays deterministic and cache-stable.
+            let seed = u64::from_str_radix(&fnv1a(bucket.label().as_bytes()), 16)
+                .expect("fnv1a emits 16 hex digits");
+            self.tuner.tune_with_mode(
+                &self.model,
+                &self.device,
+                &workload,
+                &SearchMode::annealed(seed),
+            )
+        } else {
+            self.tuner.tune(&self.model, &self.device, &workload)
+        };
+        let Ok(tuned) = result else {
             resoftmax_obs::counter("tune.fallbacks").incr();
             return base.clone();
         };
@@ -124,6 +155,34 @@ mod tests {
         let rerun = run_serve_with(&model, &device, &params, &cfg(), &planner).unwrap();
         assert_eq!(rerun, tuned);
         assert!(resoftmax_obs::counter("tune.cache_hits").get() > hits);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "end-to-end simulation is too slow under miri")]
+    fn long_tail_buckets_anneal_deterministically() {
+        let model = ModelConfig::gpt_neo_1_3b();
+        let device = DeviceSpec::a100();
+        let params = RunParams::new(4096);
+        let tuner = Tuner::new(SearchSpace::smoke(), SearchMode::Exhaustive);
+        let planner = TunedPlanner::new(&tuner, &model, &device);
+
+        // 3000 rounds up to a 4096-token bucket: long tail → annealed.
+        let long = [3000, 1500];
+        let before = resoftmax_obs::counter("tune.annealed_buckets").get();
+        let first = planner.plan(&long, &params);
+        assert!(
+            resoftmax_obs::counter("tune.annealed_buckets").get() > before,
+            "long-tail bucket must route through the annealer"
+        );
+        // The annealer seed derives from the bucket label, so replanning
+        // answers identically (from the cache, under the annealed key).
+        let second = planner.plan(&long, &params);
+        assert_eq!(second, first);
+
+        // Short buckets stay on the tuner's default mode.
+        let mid = resoftmax_obs::counter("tune.annealed_buckets").get();
+        planner.plan(&[256, 128], &params);
+        assert_eq!(resoftmax_obs::counter("tune.annealed_buckets").get(), mid);
     }
 
     #[test]

@@ -195,16 +195,29 @@ impl Tuner {
         device: &DeviceSpec,
         workload: &TuneWorkload,
     ) -> Result<Tuned, TuneError> {
+        self.tune_with_mode(model, device, workload, &self.mode)
+    }
+
+    /// Like [`Tuner::tune`], but searching with `mode` instead of the
+    /// tuner's default. The mode fingerprint is part of the cache key, so
+    /// answers found under different modes never alias; a caller can e.g.
+    /// anneal one expensive long-tail bucket while everything else stays on
+    /// the tuner's exhaustive default.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError::DefaultUnrunnable`] when the default configuration
+    /// itself fails the legality gates for this workload.
+    pub fn tune_with_mode(
+        &self,
+        model: &ModelConfig,
+        device: &DeviceSpec,
+        workload: &TuneWorkload,
+        mode: &SearchMode,
+    ) -> Result<Tuned, TuneError> {
         let bucket = workload.bucket();
         let base = default_params(&bucket);
-        let key = cache_key(
-            model,
-            device,
-            &base.profile,
-            &self.space,
-            &self.mode,
-            &bucket,
-        );
+        let key = cache_key(model, device, &base.profile, &self.space, mode, &bucket);
 
         if let Some(entry) = self
             .db
@@ -225,15 +238,7 @@ impl Tuner {
         resoftmax_obs::counter("tune.cache_misses").incr();
 
         let seeds = self.transfer_seeds(model, &bucket, &base, &key);
-        let outcome = search(
-            model,
-            device,
-            &bucket,
-            &self.space,
-            &self.mode,
-            &base,
-            &seeds,
-        )?;
+        let outcome = search(model, device, &bucket, &self.space, mode, &base, &seeds)?;
         self.db
             .lock()
             .expect("tuner database poisoned")
